@@ -1,0 +1,59 @@
+// Ablation for §4.1's cooperative stop: "the thread must check the state
+// of the boolean… the cost of which is not bounded. Consequently, the
+// task will regularly make small cost overruns, about a few
+// milliseconds." The engine models that polling delay as a stop latency;
+// this harness sweeps it on the Figure 6 experiment and reports when the
+// treatment's guarantee (only the faulty task misses) erodes.
+//
+// Arithmetic: τ1 is stopped at 1040+L; τ3 then completes at 1098+L, so
+// its 1120 ms deadline holds up to L = 22 ms — far above the "few
+// milliseconds" the paper observed, confirming the mechanism is robust
+// to realistic polling costs.
+#include <cstdio>
+
+#include "core/ft_system.hpp"
+#include "core/paper.hpp"
+
+int main() {
+  using namespace rtft;
+  using namespace rtft::literals;
+
+  std::puts("== ablation: stop-poll latency on the Figure 6 experiment ==");
+  std::puts("latency  tau1_aborted_at  misses");
+  int failures = 0;
+  for (const Duration latency :
+       {0_ms, 1_ms, 3_ms, 10_ms, 22_ms, 23_ms, 40_ms}) {
+    core::paper::Scenario s = core::paper::figures_scenario(
+        core::TreatmentPolicy::kEquitableAllowance);
+    s.config.stop_poll_latency = latency;
+    core::FaultTolerantSystem sys(std::move(s.config), std::move(s.faults));
+    const core::RunReport report = sys.run();
+
+    Instant abort = Instant::never();
+    for (const auto& e : sys.recorder().events()) {
+      if (e.kind == trace::EventKind::kJobAborted && e.task == 0) {
+        abort = e.time;
+      }
+    }
+    // At large latencies the faulty job completes before the stop
+    // arrives and is never aborted at all.
+    std::printf("%-7s  %-15s ", to_string(latency).c_str(),
+                abort == Instant::never() ? "(ran to completion)"
+                                          : to_string(abort).c_str());
+    for (const auto& t : report.tasks) {
+      if (t.stats.missed > 0) std::printf(" %s", t.name.c_str());
+    }
+    std::printf("\n");
+
+    // The guarantee must hold through 22 ms and break by 23 ms.
+    const bool only_tau1 =
+        report.missing_tasks() == std::vector<std::string>{"tau1"};
+    if (latency <= 22_ms && !only_tau1) ++failures;
+    if (latency >= 23_ms && only_tau1) ++failures;
+  }
+  std::puts("\nreading: the equitable-allowance guarantee survives stop"
+            "\nlatencies an order of magnitude above the paper's observed"
+            "\npolling overrun ('a few milliseconds'); the cliff sits at"
+            "\nexactly the slack the analysis predicts (22 ms).");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+// Figure 3: execution without detection. The injected fault propagates
+// down the priority ladder and τ3 — an innocent task — misses its
+// deadline. "It is the case we wish to avoid."
+#include "harness_common.hpp"
+
+int main() {
+  return rtft::bench::run_figure_harness(
+      "Figure 3", rtft::core::TreatmentPolicy::kNoDetection,
+      "tau1 makes a temporal fault; it ends before its deadline, just as "
+      "tau2, but tau3 misses its deadline.");
+}

@@ -1,0 +1,12 @@
+// Figure 5: instantaneous stop of the faulty task at its WCRT. Only τ1
+// misses; τ2 and τ3 finish early — the CPU is then free well before τ3's
+// deadline, hinting that τ1 was stopped more aggressively than needed
+// (the motivation for the allowance treatments).
+#include "harness_common.hpp"
+
+int main() {
+  return rtft::bench::run_figure_harness(
+      "Figure 5", rtft::core::TreatmentPolicy::kInstantStop,
+      "tasks are stopped as soon as they make faults; the only task to "
+      "miss its deadline is tau1, and idle time remains afterwards.");
+}

@@ -1,0 +1,14 @@
+// Figure 6: every task is granted the same allowance A = 11 ms; τ1 is
+// stopped at its inflated WCRT (Table 3) and had more time to run than
+// under the instant stop, but τ2's and τ3's unconsumed allowances go to
+// waste — the motivation for granting the whole budget to the first
+// faulty task (Figure 7).
+#include "harness_common.hpp"
+
+int main() {
+  return rtft::bench::run_figure_harness(
+      "Figure 6", rtft::core::TreatmentPolicy::kEquitableAllowance,
+      "all tasks get the same allowance (11 ms); only tau1 is stopped and "
+      "it had more time than in the previous case; unused CPU time "
+      "remains because tau2 and tau3 did not consume their allowance.");
+}

@@ -1,0 +1,12 @@
+// Figure 7: the whole spare budget (B = 33 ms) is granted to the first
+// faulty task; τ1 runs longest before being stopped, and τ2 and τ3
+// finish just before their deadlines — no CPU time is wasted.
+#include "harness_common.hpp"
+
+int main() {
+  return rtft::bench::run_figure_harness(
+      "Figure 7", rtft::core::TreatmentPolicy::kSystemAllowance,
+      "all the system time available in the worst case (33 ms) is granted "
+      "to the first faulty task; tau1 is stopped 33 ms after its WCRT and "
+      "tau2 and tau3 both finish just before their deadlines.");
+}

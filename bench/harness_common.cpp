@@ -1,0 +1,158 @@
+#include "harness_common.hpp"
+
+#include <cstdio>
+
+#include "trace/ascii_chart.hpp"
+#include "trace/stats.hpp"
+#include "trace/timeline.hpp"
+
+namespace rtft::bench {
+namespace {
+
+using namespace rtft::literals;
+
+WindowDates collect_window_dates(const core::RunReport& report,
+                                 const trace::Recorder& rec) {
+  WindowDates d;
+  d.tau1_retired = Instant::never();
+  d.tau2_end = Instant::never();
+  d.tau3_end = Instant::never();
+  for (const trace::TraceEvent& e : rec.events()) {
+    if (e.kind == trace::EventKind::kJobEnd) {
+      if (e.task == 0 && e.job == core::paper::kFaultyJobIndex) {
+        d.tau1_retired = e.time;
+      }
+      if (e.task == 1 && e.job == 4) d.tau2_end = e.time;
+      if (e.task == 2 && e.job == 0) d.tau3_end = e.time;
+    }
+    if (e.kind == trace::EventKind::kJobAborted && e.task == 0) {
+      d.tau1_retired = e.time;
+    }
+  }
+  d.tau1_stopped = report.tasks[0].stats.stopped;
+  d.missing_tasks = report.missing_tasks();
+  return d;
+}
+
+std::string date_str(Instant t) {
+  return t == Instant::never() ? "never" : to_string(t);
+}
+
+}  // namespace
+
+int run_figure_harness(const char* figure, core::TreatmentPolicy policy,
+                       const char* narration) {
+  core::paper::Scenario scenario = core::paper::figures_scenario(policy);
+  const sched::TaskSet tasks = scenario.config.tasks;
+  core::FaultTolerantSystem system(std::move(scenario.config),
+                                   std::move(scenario.faults));
+  const core::RunReport report = system.run();
+
+  std::printf("================ %s — policy %s ================\n", figure,
+              std::string(core::to_string(policy)).c_str());
+  std::printf("paper narration: %s\n\n", narration);
+  std::fputs(report.summary().c_str(), stdout);
+
+  const WindowDates d = collect_window_dates(report, system.recorder());
+  std::printf("\nkey dates in the t=1000ms window (paper's 5th τ1 job):\n");
+  std::printf("  τ1 faulty job %s at %s\n",
+              d.tau1_stopped ? "STOPPED" : "ends",
+              date_str(d.tau1_retired).c_str());
+  std::printf("  τ2 job ends at %s (deadline 1120ms)\n",
+              date_str(d.tau2_end).c_str());
+  std::printf("  τ3 job ends at %s (deadline 1120ms)\n",
+              date_str(d.tau3_end).c_str());
+  std::printf("  deadline misses:");
+  if (d.missing_tasks.empty()) std::printf(" none");
+  for (const std::string& name : d.missing_tasks) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
+  const trace::SystemTimeline timeline = trace::build_timeline(
+      tasks, system.recorder(),
+      Instant::epoch() + core::paper::kFigureHorizon);
+  std::fputs(trace::compute_stats(timeline).table().c_str(), stdout);
+
+  trace::AsciiChartOptions chart;
+  chart.from = Instant::epoch() + 980_ms;
+  chart.to = Instant::epoch() + 1140_ms;
+  chart.width = 80;
+  std::printf("\nfault window:\n%s\n",
+              trace::render_ascii_chart(timeline, chart).c_str());
+
+  // Paper-vs-measured checklist, per figure.
+  std::vector<Expectation> checks;
+  const bool tau3_missed =
+      std::find(d.missing_tasks.begin(), d.missing_tasks.end(), "tau3") !=
+      d.missing_tasks.end();
+  const bool only_tau1_missed =
+      d.missing_tasks == std::vector<std::string>{"tau1"};
+  switch (policy) {
+    case core::TreatmentPolicy::kNoDetection:
+    case core::TreatmentPolicy::kDetectOnly:
+      checks.push_back({"tau1 ends before its deadline (1070ms)",
+                        d.tau1_retired <= Instant::epoch() + 1070_ms &&
+                            !d.tau1_stopped});
+      checks.push_back({"tau2 meets its deadline", d.tau2_end <= Instant::epoch() + 1120_ms});
+      checks.push_back({"tau3 misses its deadline", tau3_missed});
+      if (policy == core::TreatmentPolicy::kDetectOnly) {
+        checks.push_back({"detectors fire with 1/2/3ms quantization delay "
+                          "(thresholds 30/60/90ms)",
+                          *report.tasks[0].quantized_threshold == 30_ms &&
+                              *report.tasks[1].quantized_threshold == 60_ms &&
+                              *report.tasks[2].quantized_threshold == 90_ms});
+        checks.push_back(
+            {"all three tasks flagged faulty in the window",
+             report.tasks[0].faults_detected == 1 &&
+                 report.tasks[1].faults_detected == 1 &&
+                 report.tasks[2].faults_detected == 1});
+      }
+      break;
+    case core::TreatmentPolicy::kInstantStop:
+      checks.push_back({"tau1 stopped at its quantized WCRT (t=1030ms)",
+                        d.tau1_stopped &&
+                            d.tau1_retired == Instant::epoch() + 1030_ms});
+      checks.push_back({"only tau1 misses its deadline", only_tau1_missed});
+      checks.push_back({"tau2 and tau3 finish with CPU to spare "
+                        "(1059ms / 1088ms)",
+                        d.tau2_end == Instant::epoch() + 1059_ms &&
+                            d.tau3_end == Instant::epoch() + 1088_ms});
+      break;
+    case core::TreatmentPolicy::kEquitableAllowance:
+      checks.push_back({"allowance A = 11ms",
+                        report.plan.allowance == 11_ms});
+      checks.push_back({"tau1 stopped at WCRT+A (t=1040ms), later than "
+                        "under instant stop",
+                        d.tau1_stopped &&
+                            d.tau1_retired == Instant::epoch() + 1040_ms});
+      checks.push_back({"only tau1 misses its deadline", only_tau1_missed});
+      break;
+    case core::TreatmentPolicy::kSystemAllowance:
+    case core::TreatmentPolicy::kSystemAllowanceSound:
+      checks.push_back({"budget B = 33ms granted to the first faulty task",
+                        report.plan.allowance == 33_ms});
+      checks.push_back(
+          {"tau1 stopped ~33ms past its WCRT (t=1060ms quantized)",
+           d.tau1_stopped && d.tau1_retired == Instant::epoch() + 1060_ms});
+      checks.push_back(
+          {"tau2 and tau3 finish just before their deadlines "
+           "(1089ms / 1118ms vs 1120ms)",
+           d.tau2_end == Instant::epoch() + 1089_ms &&
+               d.tau3_end == Instant::epoch() + 1118_ms});
+      checks.push_back({"only tau1 misses its deadline", only_tau1_missed});
+      break;
+  }
+
+  int failures = 0;
+  std::printf("paper-vs-measured checklist:\n");
+  for (const Expectation& c : checks) {
+    std::printf("  [%s] %s\n", c.holds ? "ok" : "FAIL",
+                c.description.c_str());
+    if (!c.holds) ++failures;
+  }
+  std::printf("\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace rtft::bench

@@ -1,0 +1,35 @@
+// Shared plumbing for the figure-reproduction harnesses: runs one of the
+// paper's §6 scenarios and prints the key dates, the statistics table and
+// the fault-window chart, followed by a paper-vs-measured checklist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ft_system.hpp"
+#include "core/paper.hpp"
+
+namespace rtft::bench {
+
+/// One expectation taken from the paper's narration, checked against the
+/// run ("who wins, by roughly what factor, where crossovers fall").
+struct Expectation {
+  std::string description;  ///< e.g. "tau3 misses its deadline".
+  bool holds;               ///< measured outcome.
+};
+
+/// Runs the figure scenario for `policy` and prints everything.
+/// Returns the process exit code (0 iff all expectations hold).
+int run_figure_harness(const char* figure, core::TreatmentPolicy policy,
+                       const char* narration);
+
+/// Key completion/stop dates of the t=1000ms window, for expectations.
+struct WindowDates {
+  Instant tau1_retired;  ///< completion or abort of τ1's faulty job.
+  bool tau1_stopped = false;
+  Instant tau2_end;      ///< completion of τ2's coincident job.
+  Instant tau3_end;      ///< completion of τ3's job (never() if missed).
+  std::vector<std::string> missing_tasks;
+};
+
+}  // namespace rtft::bench

@@ -1,0 +1,68 @@
+// Microbenchmarks of the allowance searches (§4.2/§4.3). The paper calls
+// these "expensive algorithms in time" that its static design can afford
+// offline (§7); these numbers quantify that cost and how the search
+// granularity trades precision for speed.
+#include <benchmark/benchmark.h>
+
+#include "core/paper.hpp"
+#include "sched/allowance.hpp"
+#include "support_bench.hpp"
+
+namespace {
+
+using namespace rtft;
+using namespace rtft::literals;
+
+void BM_EquitableAllowance_PaperTable2(benchmark::State& state) {
+  const sched::TaskSet ts = core::paper::table2_system();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::equitable_allowance(ts));
+  }
+}
+BENCHMARK(BM_EquitableAllowance_PaperTable2);
+
+void BM_EquitableAllowance_Granularity(benchmark::State& state) {
+  // Finer granularity = more binary-search steps (log2(range/g)).
+  const sched::TaskSet ts = core::paper::table2_system();
+  sched::AllowanceOptions opts;
+  opts.granularity = Duration::ns(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::equitable_allowance(ts, opts));
+  }
+}
+BENCHMARK(BM_EquitableAllowance_Granularity)
+    ->Arg(1)            // exact (ns)
+    ->Arg(1'000)        // us
+    ->Arg(1'000'000);   // ms (the paper's working precision)
+
+void BM_EquitableAllowance_TaskCount(benchmark::State& state) {
+  const sched::TaskSet ts = rtft::bench::random_set(
+      21, static_cast<std::size_t>(state.range(0)), 0.6);
+  sched::AllowanceOptions opts;
+  opts.granularity = 1_us;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::equitable_allowance(ts, opts));
+  }
+}
+BENCHMARK(BM_EquitableAllowance_TaskCount)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SystemAllowance_PaperTable2(benchmark::State& state) {
+  const sched::TaskSet ts = core::paper::table2_system();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::system_allowance(ts));
+  }
+}
+BENCHMARK(BM_SystemAllowance_PaperTable2);
+
+void BM_SystemAllowance_TaskCount(benchmark::State& state) {
+  const sched::TaskSet ts = rtft::bench::random_set(
+      22, static_cast<std::size_t>(state.range(0)), 0.6);
+  sched::AllowanceOptions opts;
+  opts.granularity = 1_us;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::system_allowance(ts, opts));
+  }
+}
+BENCHMARK(BM_SystemAllowance_TaskCount)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace

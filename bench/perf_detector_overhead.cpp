@@ -1,0 +1,64 @@
+// Quantifies the §6.2 claim that the detection mechanism's overhead is
+// "that of a preemption plus an unbounded flag test" and negligible:
+// compares engine runs of the same system with and without a full
+// detector bank, sweeping the task count ("the more tasks, the more
+// sensors").
+#include <benchmark/benchmark.h>
+
+#include "core/detector.hpp"
+#include "core/ft_system.hpp"
+#include "core/paper.hpp"
+#include "sched/response_time.hpp"
+#include "support_bench.hpp"
+
+namespace {
+
+using namespace rtft;
+using namespace rtft::literals;
+
+void run_once(const sched::TaskSet& ts, bool with_detectors,
+              Duration fire_cost) {
+  rt::EngineOptions opts;
+  opts.horizon = Instant::epoch() + Duration::s(5);
+  rt::Engine engine(opts);
+  std::vector<rt::TaskHandle> handles;
+  for (const auto& t : ts) handles.push_back(engine.add_task(t));
+  std::unique_ptr<core::DetectorBank> bank;
+  if (with_detectors) {
+    std::vector<Duration> thresholds;
+    for (sched::TaskId i = 0; i < ts.size(); ++i) {
+      thresholds.push_back(sched::response_time(ts, i).wcrt);
+    }
+    core::DetectorConfig cfg;
+    cfg.fire_cost = fire_cost;
+    bank = std::make_unique<core::DetectorBank>(
+        engine, handles, thresholds, cfg,
+        core::DetectorBank::FaultHandler{});
+  }
+  engine.run();
+  benchmark::DoNotOptimize(engine.now());
+}
+
+void BM_Baseline_NoDetectors(benchmark::State& state) {
+  const sched::TaskSet ts = rtft::bench::random_set(
+      5, static_cast<std::size_t>(state.range(0)), 0.6);
+  for (auto _ : state) run_once(ts, false, Duration::zero());
+}
+BENCHMARK(BM_Baseline_NoDetectors)->Arg(3)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_WithDetectors_FreeFires(benchmark::State& state) {
+  const sched::TaskSet ts = rtft::bench::random_set(
+      5, static_cast<std::size_t>(state.range(0)), 0.6);
+  for (auto _ : state) run_once(ts, true, Duration::zero());
+}
+BENCHMARK(BM_WithDetectors_FreeFires)->Arg(3)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_WithDetectors_CostedFires(benchmark::State& state) {
+  // Each fire also charges simulated CPU (one preemption's worth).
+  const sched::TaskSet ts = rtft::bench::random_set(
+      5, static_cast<std::size_t>(state.range(0)), 0.6);
+  for (auto _ : state) run_once(ts, true, 10_us);
+}
+BENCHMARK(BM_WithDetectors_CostedFires)->Arg(3)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Microbenchmarks of the worst-case response-time analysis (the paper's
+// Figure 2 algorithm): cost as a function of task-set size and load.
+// The paper's admission control runs this at every task addition, so its
+// cost bounds how dynamic an admission-controlled system can be (§7).
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "core/paper.hpp"
+#include "sched/response_time.hpp"
+#include "support_bench.hpp"
+
+namespace {
+
+using namespace rtft;
+
+void BM_ResponseTime_PaperTable2(benchmark::State& state) {
+  const sched::TaskSet ts = core::paper::table2_system();
+  for (auto _ : state) {
+    for (sched::TaskId i = 0; i < ts.size(); ++i) {
+      benchmark::DoNotOptimize(sched::response_time(ts, i));
+    }
+  }
+}
+BENCHMARK(BM_ResponseTime_PaperTable2);
+
+void BM_ResponseTime_LowestPriorityTask(benchmark::State& state) {
+  // Analysis of the lowest-priority task: the most expensive single call.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double u = static_cast<double>(state.range(1)) / 100.0;
+  const sched::TaskSet ts = rtft::bench::random_set(42, n, u);
+  const sched::TaskId lowest = ts.by_priority_desc().back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::response_time(ts, lowest));
+  }
+  state.SetLabel(std::to_string(n) + " tasks, U=" +
+                 std::to_string(state.range(1)) + "%");
+}
+BENCHMARK(BM_ResponseTime_LowestPriorityTask)
+    ->Args({4, 60})
+    ->Args({8, 60})
+    ->Args({16, 60})
+    ->Args({32, 60})
+    ->Args({64, 60})
+    ->Args({16, 30})
+    ->Args({16, 80})
+    ->Args({16, 95});
+
+void BM_ResponseTime_WholeTaskSet(benchmark::State& state) {
+  // Full admission-control pass: every task analyzed.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sched::TaskSet ts = rtft::bench::random_set(7, n, 0.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::response_times(ts));
+  }
+}
+BENCHMARK(BM_ResponseTime_WholeTaskSet)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ResponseTime_ArbitraryDeadlines(benchmark::State& state) {
+  // Deadlines up to 3x the period force multi-job busy periods (the
+  // Lehoczky iteration), the general case of the paper's Figure 2.
+  Rng rng(11);
+  RandomTaskSetSpec spec;
+  spec.tasks = static_cast<std::size_t>(state.range(0));
+  spec.total_utilization = 0.9;
+  spec.deadline_min_factor = 1.0;
+  spec.deadline_max_factor = 3.0;
+  const sched::TaskSet ts = rtft::bench::to_task_set(random_task_set(rng, spec));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::response_times(ts));
+  }
+}
+BENCHMARK(BM_ResponseTime_ArbitraryDeadlines)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace

@@ -1,0 +1,33 @@
+// Shared workload builders for the perf benchmarks.
+#pragma once
+
+#include <string>
+
+#include "common/random.hpp"
+#include "sched/priority.hpp"
+#include "sched/task.hpp"
+
+namespace rtft::bench {
+
+/// Converts raw random tasks into a TaskSet with DM priorities.
+inline sched::TaskSet to_task_set(const std::vector<RandomTask>& raw) {
+  sched::TaskSet ts;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    ts.add(sched::TaskParams{"t" + std::to_string(i), 0, raw[i].cost,
+                             raw[i].period, raw[i].deadline,
+                             Duration::zero()});
+  }
+  return sched::with_deadline_monotonic_priorities(ts);
+}
+
+/// Deterministic random constrained-deadline set.
+inline sched::TaskSet random_set(std::uint64_t seed, std::size_t tasks,
+                                 double utilization) {
+  Rng rng(seed);
+  RandomTaskSetSpec spec;
+  spec.tasks = tasks;
+  spec.total_utilization = utilization;
+  return to_task_set(random_task_set(rng, spec));
+}
+
+}  // namespace rtft::bench

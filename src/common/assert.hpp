@@ -1,0 +1,61 @@
+// Library assertions.
+//
+// rtft is a library that simulates and analyzes safety-relevant systems;
+// silently proceeding past a broken invariant would corrupt results, so
+// violated preconditions throw (which also makes them testable) instead of
+// aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rtft {
+
+/// Thrown when a precondition or internal invariant of the library is
+/// violated. Indicates a bug in the caller (preconditions) or in rtft
+/// itself (invariants); not used for ordinary error reporting.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& message) {
+  std::string what(kind);
+  what += " failed: ";
+  what += expr;
+  if (!message.empty()) {
+    what += " — ";
+    what += message;
+  }
+  what += " (";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  what += ')';
+  throw ContractViolation(what);
+}
+}  // namespace detail
+
+}  // namespace rtft
+
+/// Precondition check: caller-facing argument validation.
+#define RTFT_EXPECTS(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::rtft::detail::contract_failure("precondition", #cond, __FILE__,   \
+                                       __LINE__, (msg));                  \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant check: a failure means an rtft bug.
+#define RTFT_ASSERT(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::rtft::detail::contract_failure("invariant", #cond, __FILE__,      \
+                                       __LINE__, (msg));                  \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,30 @@
+// Small string utilities shared by the config parser, chart renderers and
+// report formatting. Nothing here allocates during simulation runs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtft {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on a separator character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char sep);
+
+/// Fixed-point decimal rendering with `digits` places (no locale).
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+/// Left/right padding to a column width (spaces; no truncation).
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+
+/// True if `s` parses completely as a signed decimal integer.
+[[nodiscard]] bool parse_int64(std::string_view s, std::int64_t& out);
+/// True if `s` parses completely as a floating-point number.
+[[nodiscard]] bool parse_double(std::string_view s, double& out);
+
+}  // namespace rtft

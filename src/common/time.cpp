@@ -1,0 +1,40 @@
+#include "common/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rtft {
+namespace {
+
+std::string format_scaled(std::int64_t ns, std::int64_t scale,
+                          const char* unit) {
+  const std::int64_t whole = ns / scale;
+  const std::int64_t frac = ns % scale < 0 ? -(ns % scale) : ns % scale;
+  char buf[64];
+  if (frac == 0) {
+    std::snprintf(buf, sizeof buf, "%" PRId64 "%s", whole, unit);
+  } else {
+    // Print the fraction with just enough digits, trimming zeros.
+    double value = static_cast<double>(ns) / static_cast<double>(scale);
+    std::snprintf(buf, sizeof buf, "%.6f", value);
+    std::string s(buf);
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s + unit;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Duration d) {
+  const std::int64_t ns = d.count();
+  const std::int64_t abs_ns = ns < 0 ? -ns : ns;
+  if (abs_ns >= 1'000'000) return format_scaled(ns, 1'000'000, "ms");
+  if (abs_ns >= 1'000) return format_scaled(ns, 1'000, "us");
+  return format_scaled(ns, 1, "ns");
+}
+
+std::string to_string(Instant t) { return to_string(t.since_epoch()); }
+
+}  // namespace rtft

@@ -1,0 +1,36 @@
+#include "core/paper.hpp"
+
+namespace rtft::core::paper {
+
+sched::TaskSet table1_system() {
+  sched::TaskSet ts;
+  ts.add(sched::TaskParams{"tau1", 20, Duration::ms(3), Duration::ms(6),
+                           Duration::ms(6), Duration::zero()});
+  ts.add(sched::TaskParams{"tau2", 15, Duration::ms(2), Duration::ms(4),
+                           Duration::ms(2), Duration::zero()});
+  return ts;
+}
+
+sched::TaskSet table2_system(Duration tau3_offset) {
+  sched::TaskSet ts;
+  ts.add(sched::TaskParams{"tau1", 20, Duration::ms(29), Duration::ms(200),
+                           Duration::ms(70), Duration::zero()});
+  ts.add(sched::TaskParams{"tau2", 18, Duration::ms(29), Duration::ms(250),
+                           Duration::ms(120), Duration::zero()});
+  ts.add(sched::TaskParams{"tau3", 16, Duration::ms(29), Duration::ms(1500),
+                           Duration::ms(120), tau3_offset});
+  return ts;
+}
+
+Scenario figures_scenario(TreatmentPolicy policy, Duration overrun,
+                          rt::Quantizer quantizer) {
+  Scenario s;
+  s.config.tasks = table2_system(/*tau3_offset=*/kWindowStart);
+  s.config.policy = policy;
+  s.config.horizon = kFigureHorizon;
+  s.config.detector.quantizer = quantizer;
+  s.faults.add_overrun("tau1", kFaultyJobIndex, overrun);
+  return s;
+}
+
+}  // namespace rtft::core::paper

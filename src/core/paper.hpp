@@ -1,0 +1,48 @@
+// Canonical reconstructions of the paper's experimental setups, shared by
+// the test suite, the bench harnesses and the examples. See DESIGN.md §3
+// for how the unstated parameters (release window, overrun magnitude)
+// were pinned down from the narration.
+#pragma once
+
+#include "core/ft_system.hpp"
+#include "runtime/quantize.hpp"
+#include "sched/task.hpp"
+
+namespace rtft::core::paper {
+
+/// Table 1 (§2.2 / Figure 1): τ1(P20 D6 T6 C3), τ2(P15 D2 T4 C2), in ms.
+/// U = 1 exactly; τ2's worst response (6 ms) is at its second job.
+[[nodiscard]] sched::TaskSet table1_system();
+
+/// Table 2 (§6): τ1(P20 T200 D70 C29), τ2(P18 T250 D120 C29),
+/// τ3(P16 T1500 D120 C29), in ms. WCRTs 29/58/87, A = 11, B = 33.
+/// `tau3_offset` shifts τ3's first release (the figures need 1000 ms).
+[[nodiscard]] sched::TaskSet table2_system(
+    Duration tau3_offset = Duration::zero());
+
+/// The window all five figures observe: τ1's job released at 1000 ms,
+/// coincident with a τ2 and (offset) τ3 release.
+inline constexpr Duration kWindowStart = Duration::ms(1000);
+/// Index of τ1's faulty job (released at kWindowStart).
+inline constexpr std::int64_t kFaultyJobIndex = 5;
+/// Injected overrun: +40 ms (see DESIGN.md — the narration bounds it to
+/// (33, 41] and Figure 7 pins it at 40).
+inline constexpr Duration kDefaultOverrun = Duration::ms(40);
+/// Horizon of the figure runs.
+inline constexpr Duration kFigureHorizon = Duration::ms(2000);
+
+/// One ready-to-run figure experiment.
+struct Scenario {
+  FtSystemConfig config;
+  FaultPlan faults;
+};
+
+/// Builds the Figures 3–7 experiment for the given policy:
+///   Figure 3 — kNoDetection        Figure 4 — kDetectOnly
+///   Figure 5 — kInstantStop        Figure 6 — kEquitableAllowance
+///   Figure 7 — kSystemAllowance
+[[nodiscard]] Scenario figures_scenario(
+    TreatmentPolicy policy, Duration overrun = kDefaultOverrun,
+    rt::Quantizer quantizer = rt::jrate_quantizer());
+
+}  // namespace rtft::core::paper

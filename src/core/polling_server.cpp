@@ -1,0 +1,82 @@
+#include "core/polling_server.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtft::core {
+
+PollingServer::PollingServer(rt::Engine& engine,
+                             const sched::TaskParams& server_params)
+    : engine_(engine), budget_(server_params.cost) {
+  rt::TaskCallbacks callbacks;
+  callbacks.on_job_end = [this](rt::Engine& e, std::int64_t job) {
+    on_served(e, job);
+  };
+  task_ = engine.add_task(
+      server_params,
+      [this](std::int64_t job) { return planned_service(job); },
+      std::move(callbacks));
+}
+
+AperiodicId PollingServer::submit(std::string name, Duration cost,
+                                  std::optional<Duration> relative_deadline) {
+  RTFT_EXPECTS(cost.is_positive(), "aperiodic cost must be positive");
+  AperiodicJobReport job;
+  job.name = std::move(name);
+  job.arrival = engine_.now();
+  job.cost = cost;
+  job.relative_deadline = relative_deadline;
+  jobs_.push_back(std::move(job));
+  const AperiodicId id = jobs_.size() - 1;
+  queue_.push_back(id);
+  return id;
+}
+
+Duration PollingServer::planned_service(std::int64_t job_index) {
+  // Work available at this poll, capped by the budget. A poll with an
+  // empty queue still runs for a token nanosecond (the poll itself);
+  // that keeps the engine's positive-cost invariant and models the
+  // (negligible) polling overhead.
+  Duration backlog;
+  for (const AperiodicId id : queue_) {
+    backlog += jobs_[id].cost;
+  }
+  backlog -= head_served_;
+  Duration service = backlog < budget_ ? backlog : budget_;
+  if (!service.is_positive()) service = Duration::ns(1);
+  const auto index = static_cast<std::size_t>(job_index);
+  if (poll_plan_.size() <= index) poll_plan_.resize(index + 1);
+  poll_plan_[index] = service;
+  return service;
+}
+
+void PollingServer::on_served(rt::Engine& engine, std::int64_t job_index) {
+  const auto index = static_cast<std::size_t>(job_index);
+  RTFT_ASSERT(index < poll_plan_.size(), "poll ended without a plan");
+  Duration served = poll_plan_[index];
+  // Distribute FIFO. The token nanosecond of an empty poll serves no one.
+  while (served.is_positive() && !queue_.empty()) {
+    AperiodicJobReport& head = jobs_[queue_.front()];
+    const Duration need = head.cost - head_served_;
+    if (served < need) {
+      head_served_ += served;
+      served = Duration::zero();
+      break;
+    }
+    served -= need;
+    head_served_ = Duration::zero();
+    head.completion = engine.now();
+    if (head.relative_deadline &&
+        *head.completion > head.arrival + *head.relative_deadline) {
+      head.deadline_missed = true;
+    }
+    completed_++;
+    queue_.pop_front();
+  }
+}
+
+const AperiodicJobReport& PollingServer::report(AperiodicId id) const {
+  RTFT_EXPECTS(id < jobs_.size(), "aperiodic id out of range");
+  return jobs_[id];
+}
+
+}  // namespace rtft::core

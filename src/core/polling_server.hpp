@@ -1,0 +1,90 @@
+// Runtime polling server: aperiodic jobs on top of the periodic engine —
+// the execution side of the paper's §7 aperiodic future work.
+//
+// The server is an ordinary periodic task on the Engine (so admission
+// control, priorities and WCRT-overrun detectors all apply to it
+// unchanged). At each release ("poll") it serves the queue FIFO for at
+// most its budget; budget is not preserved across polls (the defining
+// property of a polling server: if the queue is empty at the poll, the
+// capacity is lost).
+//
+// Aperiodic completions are attributed to the end of the server job that
+// finished serving them — a conservative placement consistent with the
+// analysis bound in sched/aperiodic.hpp.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "sched/task.hpp"
+
+namespace rtft::core {
+
+/// Identifier of a submitted aperiodic job (submission order).
+using AperiodicId = std::size_t;
+
+/// Outcome of one aperiodic job.
+struct AperiodicJobReport {
+  std::string name;
+  Instant arrival;
+  Duration cost;
+  std::optional<Duration> relative_deadline;  ///< soft; miss is recorded.
+  std::optional<Instant> completion;
+  bool deadline_missed = false;
+
+  [[nodiscard]] std::optional<Duration> response() const {
+    if (!completion) return std::nullopt;
+    return *completion - arrival;
+  }
+};
+
+class PollingServer {
+ public:
+  /// Registers the server task on the engine. `server_params.cost` is
+  /// the per-period budget; priority/period/deadline are the server's
+  /// periodic parameters (admit them like any task).
+  PollingServer(rt::Engine& engine, const sched::TaskParams& server_params);
+
+  PollingServer(const PollingServer&) = delete;
+  PollingServer& operator=(const PollingServer&) = delete;
+
+  /// Queues an aperiodic job at the current engine time.
+  AperiodicId submit(std::string name, Duration cost,
+                     std::optional<Duration> relative_deadline = {});
+
+  /// Engine handle of the underlying server task (for detectors).
+  [[nodiscard]] rt::TaskHandle task() const { return task_; }
+
+  [[nodiscard]] std::size_t submitted() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t pending() const {
+    return jobs_.size() - completed_;
+  }
+  [[nodiscard]] const AperiodicJobReport& report(AperiodicId id) const;
+  [[nodiscard]] const std::vector<AperiodicJobReport>& reports() const {
+    return jobs_;
+  }
+
+ private:
+  /// Budget the poll released at job `index` should consume.
+  Duration planned_service(std::int64_t job_index);
+  /// Attributes `served` of FIFO service at server-job end.
+  void on_served(rt::Engine& engine, std::int64_t job_index);
+
+  rt::Engine& engine_;
+  Duration budget_;
+  rt::TaskHandle task_ = 0;
+
+  std::vector<AperiodicJobReport> jobs_;
+  std::deque<AperiodicId> queue_;       ///< ids with unserved work.
+  Duration head_served_;                ///< service already given to head.
+  std::size_t completed_ = 0;
+  /// Service amount decided at each poll (job index -> amount), consumed
+  /// by on_served.
+  std::vector<Duration> poll_plan_;
+};
+
+}  // namespace rtft::core

@@ -1,0 +1,93 @@
+#include "core/underrun.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+#include "sched/allowance.hpp"
+
+namespace rtft::core {
+
+UnderrunReport analyze_underruns(const sched::TaskSet& ts,
+                                 const trace::Recorder& recorder,
+                                 const std::vector<Duration>& wcrt) {
+  RTFT_EXPECTS(wcrt.size() == ts.size(), "one WCRT bound per task");
+  UnderrunReport report;
+  report.tasks.resize(ts.size());
+  for (sched::TaskId i = 0; i < ts.size(); ++i) {
+    TaskUnderrun& t = report.tasks[i];
+    t.name = ts[i].name;
+    t.declared_cost = ts[i].cost;
+    t.wcrt_bound = wcrt[i];
+  }
+  for (const trace::TraceEvent& e : recorder.events()) {
+    if (e.kind != trace::EventKind::kJobEnd) continue;
+    RTFT_EXPECTS(e.task < ts.size(), "event references unknown task");
+    TaskUnderrun& t = report.tasks[e.task];
+    t.completed_jobs++;
+    const Duration response = Duration::ns(e.detail);
+    if (response > t.max_response) t.max_response = response;
+  }
+  for (TaskUnderrun& t : report.tasks) {
+    if (t.completed_jobs == 0) continue;
+    const Duration head = t.wcrt_bound - t.max_response;
+    t.headroom = head.is_negative() ? Duration::zero() : head;
+    const Duration over = t.declared_cost - t.max_response;
+    t.overestimate = over.is_negative() ? Duration::zero() : over;
+  }
+  return report;
+}
+
+std::vector<std::string> UnderrunReport::overestimated_tasks() const {
+  std::vector<std::string> out;
+  for (const TaskUnderrun& t : tasks) {
+    if (t.overestimate.is_positive()) out.push_back(t.name);
+  }
+  return out;
+}
+
+std::string UnderrunReport::table() const {
+  std::ostringstream out;
+  out << pad_right("task", 12) << pad_left("jobs", 6)
+      << pad_left("declared C", 12) << pad_left("max resp", 10)
+      << pad_left("headroom", 10) << pad_left("overest.", 10) << '\n';
+  for (const TaskUnderrun& t : tasks) {
+    out << pad_right(t.name, 12)
+        << pad_left(std::to_string(t.completed_jobs), 6)
+        << pad_left(to_string(t.declared_cost), 12)
+        << pad_left(t.completed_jobs ? to_string(t.max_response) : "-", 10)
+        << pad_left(t.completed_jobs ? to_string(t.headroom) : "-", 10)
+        << pad_left(t.completed_jobs ? to_string(t.overestimate) : "-", 10)
+        << '\n';
+  }
+  return out.str();
+}
+
+Duration reclaimable_allowance(const sched::TaskSet& ts,
+                               const UnderrunReport& report,
+                               Duration granularity) {
+  RTFT_EXPECTS(report.tasks.size() == ts.size(),
+               "report does not match the task set");
+  sched::AllowanceOptions opts;
+  opts.granularity = granularity;
+  const sched::EquitableAllowance before =
+      sched::equitable_allowance(ts, opts);
+  if (!before.feasible_at_zero) return Duration::zero();
+
+  sched::TaskSet trimmed;
+  for (sched::TaskId i = 0; i < ts.size(); ++i) {
+    sched::TaskParams p = ts[i];
+    const TaskUnderrun& t = report.tasks[i];
+    if (t.completed_jobs > 0 && t.max_response < p.cost) {
+      p.cost = t.max_response;
+    }
+    trimmed.add(std::move(p));
+  }
+  const sched::EquitableAllowance after =
+      sched::equitable_allowance(trimmed, opts);
+  RTFT_ASSERT(after.feasible_at_zero, "trimming costs keeps feasibility");
+  const Duration gain = after.allowance - before.allowance;
+  return gain.is_negative() ? Duration::zero() : gain;
+}
+
+}  // namespace rtft::core

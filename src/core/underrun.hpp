@@ -1,0 +1,64 @@
+// Cost under-run detection — the paper's §7: "if the cost of a task can
+// be underestimated, it is also possible to overestimate it.
+// Consequently, we can consider to dynamically study the system in order
+// to detect these costs under-run and to reassign resources for faulty
+// tasks."
+//
+// This module studies a recorded run and quantifies, per task, how far
+// observed behaviour stays below the declared envelope:
+//
+//   * headroom       — WCRT bound minus the worst observed response: the
+//                      margin the admission analysis never saw used;
+//   * overestimate   — declared cost minus the worst observed response,
+//                      when positive. For the highest-priority task the
+//                      response *is* the consumed cost, so this is an
+//                      exact lower bound on the cost overestimation; for
+//                      lower tasks it is conservative (interference only
+//                      inflates responses).
+//
+// The reclaimable budget — the extra allowance the treatments of §4
+// could grant faulty tasks if declared costs were trimmed to observed
+// ones — follows by re-running the allowance search on the trimmed set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/task.hpp"
+#include "trace/recorder.hpp"
+
+namespace rtft::core {
+
+/// Observed-vs-declared summary for one task.
+struct TaskUnderrun {
+  std::string name;
+  std::int64_t completed_jobs = 0;
+  Duration declared_cost;
+  Duration wcrt_bound;       ///< analysis bound supplied by the caller.
+  Duration max_response;     ///< worst observed (zero if no completions).
+  Duration headroom;         ///< max(0, wcrt_bound - max_response).
+  Duration overestimate;     ///< max(0, declared_cost - max_response).
+};
+
+struct UnderrunReport {
+  std::vector<TaskUnderrun> tasks;  ///< TaskId order.
+  /// Tasks whose declared cost provably exceeds observed need.
+  [[nodiscard]] std::vector<std::string> overestimated_tasks() const;
+  [[nodiscard]] std::string table() const;
+};
+
+/// Scans a recorded run. `wcrt` holds the per-task analysis bounds
+/// (TaskId order), e.g. from sched::response_times().
+[[nodiscard]] UnderrunReport analyze_underruns(
+    const sched::TaskSet& ts, const trace::Recorder& recorder,
+    const std::vector<Duration>& wcrt);
+
+/// The extra equitable allowance unlocked by trimming each task's
+/// declared cost to the worst response observed for it (tasks with no
+/// completed jobs keep their declared cost). Returns the difference
+/// new_allowance - old_allowance (never negative).
+[[nodiscard]] Duration reclaimable_allowance(
+    const sched::TaskSet& ts, const UnderrunReport& report,
+    Duration granularity = Duration::ms(1));
+
+}  // namespace rtft::core

@@ -1,0 +1,64 @@
+#include "posix/tsc_clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define RTFT_HAVE_TSC 1
+#else
+#define RTFT_HAVE_TSC 0
+#endif
+
+namespace rtft::posix {
+namespace {
+
+std::uint64_t read_raw() {
+#if RTFT_HAVE_TSC
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+double calibrate() {
+#if RTFT_HAVE_TSC
+  // Sample (steady_clock, TSC) pairs across a short window. 2 ms is
+  // enough for a stable ratio on an invariant-TSC CPU, and construction
+  // stays cheap.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t c0 = __rdtsc();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t c1 = __rdtsc();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      t1 - t0)
+                      .count();
+  if (ns <= 0 || c1 <= c0) return 1.0;
+  return static_cast<double>(c1 - c0) / static_cast<double>(ns);
+#else
+  return 1.0;
+#endif
+}
+
+}  // namespace
+
+bool TscClock::uses_tsc() { return RTFT_HAVE_TSC != 0; }
+
+TscClock::TscClock() : cycles_per_ns_(calibrate()) { origin_ = read_raw(); }
+
+std::uint64_t TscClock::raw() const { return read_raw(); }
+
+Instant TscClock::now() const {
+  return Instant::epoch() + to_duration(read_raw() - origin_);
+}
+
+Duration TscClock::to_duration(std::uint64_t raw_delta) const {
+  return Duration::ns(static_cast<std::int64_t>(
+      static_cast<double>(raw_delta) / cycles_per_ns_));
+}
+
+}  // namespace rtft::posix

@@ -1,0 +1,146 @@
+#include "rtsj/realtime.hpp"
+
+#include "common/assert.hpp"
+#include "sched/response_time.hpp"
+
+namespace rtft::rtsj {
+
+VirtualMachine::VirtualMachine(Duration horizon) {
+  rt::EngineOptions opts;
+  opts.horizon = Instant::epoch() + horizon;
+  engine_ = std::make_unique<rt::Engine>(opts);
+}
+
+void VirtualMachine::run() { engine_->run(); }
+
+RealtimeThread::RealtimeThread(VirtualMachine& vm, std::string name,
+                               PriorityParameters priority,
+                               PeriodicParameters release)
+    : vm_(vm) {
+  params_.name = std::move(name);
+  params_.priority = priority.getPriority();
+  params_.cost = release.getCost();
+  params_.period = release.getPeriod();
+  params_.deadline = release.getDeadline();
+  params_.offset = release.getStart();
+  sched::validate_params(params_);
+}
+
+bool RealtimeThread::addToFeasibility() {
+  if (admitted_) return true;
+  admitted_ = vm_.scheduler().add(params_);
+  return admitted_;
+}
+
+bool RealtimeThread::removeFromFeasibility() {
+  if (!admitted_) return false;
+  RTFT_EXPECTS(!started_, "cannot withdraw a started thread");
+  admitted_ = false;
+  return vm_.scheduler().remove(params_.name);
+}
+
+void RealtimeThread::start() {
+  RTFT_EXPECTS(!started_, "thread already started");
+  rt::TaskCallbacks callbacks;
+  callbacks.on_job_begin = [this](rt::Engine&, std::int64_t job) {
+    computeBeforePeriodic(job);
+  };
+  callbacks.on_job_end = [this](rt::Engine&, std::int64_t job) {
+    computeAfterPeriodic(job);
+  };
+  handle_ = vm_.engine().add_task(params_, cost_model_,
+                                  std::move(callbacks),
+                                  vm_.engine().now());
+  started_ = true;
+}
+
+void RealtimeThread::setCostModel(rt::CostModel model) {
+  RTFT_EXPECTS(!started_, "cost model must be set before start()");
+  cost_model_ = std::move(model);
+}
+
+rt::TaskHandle RealtimeThread::handle() const {
+  RTFT_EXPECTS(started_, "thread not started");
+  return handle_;
+}
+
+const rt::TaskStats& RealtimeThread::getStats() const {
+  return vm_.engine().stats(handle());
+}
+
+RealtimeThreadExtended::RealtimeThreadExtended(VirtualMachine& vm,
+                                               std::string name,
+                                               PriorityParameters priority,
+                                               PeriodicParameters release)
+    : RealtimeThread(vm, std::move(name), priority, release) {}
+
+void RealtimeThreadExtended::setFaultHandler(FaultHandler handler) {
+  fault_handler_ = std::move(handler);
+}
+
+void RealtimeThreadExtended::setDetectorConfig(core::DetectorConfig config) {
+  RTFT_EXPECTS(detector_ == nullptr,
+               "detector config must be set before start()");
+  detector_config_ = config;
+}
+
+void RealtimeThreadExtended::setDetectorThreshold(Duration threshold) {
+  RTFT_EXPECTS(detector_ == nullptr,
+               "detector threshold must be set before start()");
+  RTFT_EXPECTS(!threshold.is_negative(), "threshold must be non-negative");
+  explicit_threshold_ = threshold;
+}
+
+void RealtimeThreadExtended::start() {
+  // "Our method starts a periodic detector with an offset equal to the
+  // worst case response time just after having called the method start()
+  // of the super-class." (§3.1)
+  RealtimeThread::start();
+
+  Duration threshold;
+  if (explicit_threshold_) {
+    threshold = *explicit_threshold_;
+  } else {
+    // WCRT within the currently admitted set; fall back to the thread's
+    // deadline when it was started without admission.
+    const sched::TaskSet& admitted = vm_.scheduler().task_set();
+    if (admitted.contains(params_.name)) {
+      const sched::RtaResult rta =
+          sched::response_time(admitted, admitted.find(params_.name));
+      RTFT_EXPECTS(rta.bounded,
+                   "cannot derive a detector threshold for an unbounded "
+                   "thread; set one explicitly");
+      threshold = rta.wcrt;
+    } else {
+      threshold = params_.deadline;
+    }
+  }
+
+  core::DetectorBank::FaultHandler handler;
+  if (fault_handler_) {
+    handler = [this](rt::Engine&, rt::TaskHandle, std::int64_t job) {
+      fault_handler_(*this, job);
+    };
+  }
+  detector_ = std::make_unique<core::DetectorBank>(
+      vm_.engine(), std::vector<rt::TaskHandle>{handle_},
+      std::vector<Duration>{threshold}, detector_config_,
+      std::move(handler));
+}
+
+void RealtimeThreadExtended::interrupt() {
+  RTFT_EXPECTS(started_, "thread not started");
+  vm_.engine().request_stop(handle_, rt::StopMode::kTask);
+}
+
+std::int64_t RealtimeThreadExtended::faultsDetected() const {
+  RTFT_EXPECTS(detector_ != nullptr, "thread not started");
+  return detector_->faults_detected(0);
+}
+
+Duration RealtimeThreadExtended::detectorThreshold() const {
+  RTFT_EXPECTS(detector_ != nullptr, "thread not started");
+  return detector_->quantized_threshold(0);
+}
+
+}  // namespace rtft::rtsj

@@ -1,0 +1,560 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace rtft::rt {
+namespace {
+
+/// Event kinds in dispatch order at equal dates (smaller = first).
+enum class EvKind : std::uint8_t {
+  kCompletion = 0,
+  kOverheadDone = 1,
+  kStopEffect = 2,
+  kTimer = 3,
+  kRelease = 4,
+  kDeadlineCheck = 5,
+};
+
+struct Ev {
+  Instant time;
+  EvKind kind{};
+  std::uint64_t seq = 0;    ///< creation order; final tie-breaker.
+  std::size_t index = 0;    ///< task or timer index.
+  std::int64_t job = -1;    ///< job index (release/deadline).
+  std::uint64_t gen = 0;    ///< validity generation (completion/overhead).
+  StopMode stop_mode = StopMode::kTask;
+};
+
+struct EvLater {
+  bool operator()(const Ev& a, const Ev& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.seq > b.seq;
+  }
+};
+
+/// What the CPU is doing.
+enum class CpuState : std::uint8_t { kIdle, kOverhead, kTask };
+
+struct TaskRec {
+  sched::TaskParams params;
+  CostModel cost_model;
+  TaskCallbacks callbacks;
+  Instant start;  ///< base instant; releases at start + offset + k*T.
+
+  bool stopped = false;
+  bool stop_in_flight = false;  ///< a stop-effect event is pending.
+  std::int64_t next_release_index = 0;  ///< next release event to dispatch.
+  std::int64_t next_start_index = 0;    ///< next job to begin execution.
+
+  bool has_current = false;
+  std::int64_t cur_index = -1;
+  Instant cur_release;
+  Duration remaining;
+  bool cur_started = false;       ///< current job has held the CPU before.
+  std::uint64_t gen = 0;          ///< bumped on every running-state change.
+  std::uint64_t ready_seq = 0;    ///< FIFO order within a priority level.
+
+  std::vector<JobOutcome> outcomes;  ///< per released job.
+  TaskStats stats;
+};
+
+struct TimerRec {
+  TimerHandler handler;
+  Duration period;        ///< zero for one-shot.
+  bool periodic = false;
+  bool cancelled = false;
+};
+
+}  // namespace
+
+struct Engine::Impl {
+  EngineOptions options;
+  trace::Recorder recorder;
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> queue;
+  std::vector<TaskRec> tasks;
+  std::vector<TimerRec> timers;
+
+  Instant now = Instant::epoch();
+  std::uint64_t next_seq = 0;
+  std::uint64_t next_ready_seq = 0;
+
+  CpuState cpu = CpuState::kIdle;
+  std::size_t running_task = 0;       ///< valid when cpu == kTask.
+  Duration overhead_backlog;          ///< work at above-task priority.
+  std::uint64_t overhead_gen = 0;
+
+  /// Context-switch accounting: the job last holding the CPU and the job
+  /// a pending switch charge was issued for.
+  bool have_last_job = false;
+  std::size_t last_job_task = 0;
+  std::int64_t last_job_index = -1;
+  bool have_charged_job = false;
+  std::size_t charged_task = 0;
+  std::int64_t charged_index = -1;
+
+  explicit Impl(EngineOptions opts)
+      : options(opts), recorder(opts.recorder_reserve) {}
+
+  // -- helpers ------------------------------------------------------------
+
+  std::uint32_t trace_id(std::size_t task) const {
+    return static_cast<std::uint32_t>(task);
+  }
+
+  void push(Ev ev) {
+    ev.seq = next_seq++;
+    queue.push(ev);
+  }
+
+  Instant release_date(const TaskRec& t, std::int64_t index) const {
+    return t.start + t.params.offset + t.params.period * index;
+  }
+
+  Duration actual_cost(TaskRec& t, std::int64_t index) {
+    const Duration nominal = t.params.cost;
+    if (!t.cost_model) return nominal;
+    const Duration c = t.cost_model(index);
+    RTFT_EXPECTS(c.is_positive(), "cost model must return positive costs");
+    return c;
+  }
+
+  /// Accounts CPU execution between the previous event and `to`.
+  void advance_to(Instant to) {
+    RTFT_ASSERT(to >= now, "time must be monotone");
+    const Duration elapsed = to - now;
+    if (elapsed.is_positive()) {
+      if (cpu == CpuState::kTask) {
+        TaskRec& t = tasks[running_task];
+        RTFT_ASSERT(t.remaining >= elapsed,
+                    "running job cannot execute past its completion event");
+        t.remaining -= elapsed;
+      } else if (cpu == CpuState::kOverhead) {
+        RTFT_ASSERT(overhead_backlog >= elapsed,
+                    "overhead cannot execute past its completion event");
+        overhead_backlog -= elapsed;
+      }
+    }
+    now = to;
+  }
+
+  /// Makes the next backlogged job of `t` current (ready to execute).
+  void start_next_job(std::size_t task_idx) {
+    TaskRec& t = tasks[task_idx];
+    RTFT_ASSERT(!t.has_current, "previous job still current");
+    RTFT_ASSERT(t.next_start_index < t.next_release_index,
+                "no released job to start");
+    const std::int64_t index = t.next_start_index++;
+    t.has_current = true;
+    t.cur_index = index;
+    t.cur_release = release_date(t, index);
+    t.remaining = actual_cost(t, index);
+    if (t.remaining != t.params.cost) {
+      recorder.record(now, trace::EventKind::kOverrunInjected,
+                      trace_id(task_idx), index,
+                      (t.remaining - t.params.cost).count());
+    }
+    t.cur_started = false;
+    t.ready_seq = next_ready_seq++;
+  }
+
+  /// Ends the current job of `task_idx` with the given outcome and
+  /// releases the CPU if that job held it.
+  void retire_current_job(std::size_t task_idx, JobOutcome outcome,
+                          trace::EventKind record_kind) {
+    TaskRec& t = tasks[task_idx];
+    RTFT_ASSERT(t.has_current, "no current job to retire");
+    const std::int64_t index = t.cur_index;
+    t.outcomes[static_cast<std::size_t>(index)] = outcome;
+    recorder.record(now, record_kind, trace_id(task_idx), index,
+                    outcome == JobOutcome::kCompleted
+                        ? (now - t.cur_release).count()
+                        : 0);
+    if (cpu == CpuState::kTask && running_task == task_idx) {
+      cpu = CpuState::kIdle;  // reschedule() will pick the next activity.
+    }
+    t.gen++;
+    t.has_current = false;
+    t.cur_index = -1;
+  }
+
+  /// Picks the highest-priority ready job, returns false if none.
+  bool pick_top_task(std::size_t& out) const {
+    bool found = false;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const TaskRec& t = tasks[i];
+      if (!t.has_current || t.stopped) continue;
+      if (!found) {
+        out = i;
+        found = true;
+        continue;
+      }
+      const TaskRec& best = tasks[out];
+      if (t.params.priority > best.params.priority ||
+          (t.params.priority == best.params.priority &&
+           t.ready_seq < best.ready_seq)) {
+        out = i;
+      }
+    }
+    return found;
+  }
+
+  /// Re-evaluates what the CPU should run after any state change.
+  void reschedule() {
+    // The running overhead interval may have drained exactly at the
+    // current event's date while its completion event is still queued
+    // behind us; consume it eagerly so a ready task can take the CPU at
+    // this very instant (the queued OverheadDone becomes stale).
+    if (cpu == CpuState::kOverhead && overhead_backlog.is_zero()) {
+      overhead_gen++;
+      cpu = CpuState::kIdle;
+    }
+    // Decide the next activity: overhead first, then the top ready job.
+    std::size_t top = 0;
+    const bool overhead_pending = overhead_backlog.is_positive();
+    const bool task_pending = pick_top_task(top);
+
+    // Charge a context switch when a *different* job is about to take the
+    // CPU. The charge itself runs as overhead, so the switch target keeps
+    // its charge across the overhead interval.
+    if (!overhead_pending && task_pending &&
+        options.context_switch_cost.is_positive()) {
+      const bool different =
+          !have_last_job || last_job_task != top ||
+          last_job_index != tasks[top].cur_index;
+      const bool already_charged = have_charged_job && charged_task == top &&
+                                   charged_index == tasks[top].cur_index;
+      if (different && !already_charged) {
+        have_charged_job = true;
+        charged_task = top;
+        charged_index = tasks[top].cur_index;
+        inject_overhead_now(options.context_switch_cost);
+        reschedule();
+        return;
+      }
+    }
+
+    if (overhead_pending) {
+      if (cpu == CpuState::kOverhead) return;  // already running it
+      preempt_running_job();
+      cpu = CpuState::kOverhead;
+      overhead_gen++;
+      push(Ev{now + overhead_backlog, EvKind::kOverheadDone, 0, 0, -1,
+              overhead_gen, StopMode::kTask});
+      return;
+    }
+
+    if (!task_pending) {
+      RTFT_ASSERT(cpu != CpuState::kTask,
+                  "running job not found by dispatcher");
+      cpu = CpuState::kIdle;  // idle intervals are derived from the trace
+      return;
+    }
+
+    if (cpu == CpuState::kTask && running_task == top) return;  // no change
+
+    preempt_running_job();
+    cpu = CpuState::kTask;
+    running_task = top;
+    TaskRec& t = tasks[top];
+    recorder.record(now,
+                    t.cur_started ? trace::EventKind::kJobResumed
+                                  : trace::EventKind::kJobStart,
+                    trace_id(top), t.cur_index, 0);
+    if (!t.cur_started) {
+      t.cur_started = true;
+      if (t.callbacks.on_job_begin) {
+        t.callbacks.on_job_begin(*owner, t.cur_index);
+      }
+    }
+    have_last_job = true;
+    last_job_task = top;
+    last_job_index = t.cur_index;
+    // The dispatch consumed any pending switch charge.
+    have_charged_job = false;
+    t.gen++;
+    push(Ev{now + t.remaining, EvKind::kCompletion, 0, top, t.cur_index,
+            t.gen, StopMode::kTask});
+  }
+
+  void preempt_running_job() {
+    if (cpu == CpuState::kTask) {
+      TaskRec& t = tasks[running_task];
+      recorder.record(now, trace::EventKind::kJobPreempted,
+                      trace_id(running_task), t.cur_index, 0);
+      t.gen++;  // invalidate its scheduled completion
+      cpu = CpuState::kIdle;
+    }
+    // Overhead is never preempted (it is the highest priority); a running
+    // overhead interval simply continues — callers only preempt tasks.
+  }
+
+  void inject_overhead_now(Duration amount) {
+    RTFT_EXPECTS(!amount.is_negative(), "overhead must be non-negative");
+    if (amount.is_zero()) return;
+    overhead_backlog += amount;
+    if (cpu == CpuState::kOverhead) {
+      // Extend the running overhead interval.
+      overhead_gen++;
+      push(Ev{now + overhead_backlog, EvKind::kOverheadDone, 0, 0, -1,
+              overhead_gen, StopMode::kTask});
+    }
+  }
+
+  // -- event handlers -----------------------------------------------------
+
+  void on_release(const Ev& ev) {
+    TaskRec& t = tasks[ev.index];
+    if (t.stopped) return;
+    const std::int64_t index = ev.job;
+    RTFT_ASSERT(index == t.next_release_index, "releases must be in order");
+    t.next_release_index++;
+    t.outcomes.push_back(JobOutcome::kPending);
+    t.stats.released++;
+    recorder.record(now, trace::EventKind::kJobRelease, trace_id(ev.index),
+                    index, 0);
+    push(Ev{now + t.params.deadline, EvKind::kDeadlineCheck, 0, ev.index,
+            index, 0, StopMode::kTask});
+    // Schedule the following release (one outstanding per task).
+    push(Ev{now + t.params.period, EvKind::kRelease, 0, ev.index, index + 1,
+            0, StopMode::kTask});
+    if (!t.has_current) start_next_job(ev.index);
+  }
+
+  void on_completion(const Ev& ev) {
+    TaskRec& t = tasks[ev.index];
+    if (ev.gen != t.gen) return;  // stale: the job was preempted/aborted
+    RTFT_ASSERT(cpu == CpuState::kTask && running_task == ev.index,
+                "completion of a job that is not running");
+    RTFT_ASSERT(t.remaining.is_zero(), "completed job has work left");
+    const std::int64_t index = t.cur_index;
+    const Duration response = now - t.cur_release;
+    t.stats.completed++;
+    t.stats.last_response = response;
+    if (response > t.stats.max_response) t.stats.max_response = response;
+    retire_current_job(ev.index, JobOutcome::kCompleted,
+                       trace::EventKind::kJobEnd);
+    if (t.callbacks.on_job_end) t.callbacks.on_job_end(*owner, index);
+    if (t.next_start_index < t.next_release_index) start_next_job(ev.index);
+  }
+
+  void on_overhead_done(const Ev& ev) {
+    if (ev.gen != overhead_gen) return;  // extended meanwhile
+    RTFT_ASSERT(cpu == CpuState::kOverhead, "overhead-done while not running");
+    RTFT_ASSERT(overhead_backlog.is_zero(), "overhead has work left");
+    cpu = CpuState::kIdle;
+  }
+
+  void on_timer(const Ev& ev) {
+    TimerRec& timer = timers[ev.index];
+    if (timer.cancelled) return;
+    recorder.record(now, trace::EventKind::kTimerFire, trace::kNoTask,
+                    trace::kNoJob, static_cast<std::int64_t>(ev.index));
+    if (timer.periodic) {
+      push(Ev{now + timer.period, EvKind::kTimer, 0, ev.index, -1, 0,
+              StopMode::kTask});
+    }
+    if (timer.handler) timer.handler(*owner);
+  }
+
+  void on_stop_effect(const Ev& ev) {
+    TaskRec& t = tasks[ev.index];
+    t.stop_in_flight = false;
+    if (t.stopped) return;
+    if (ev.stop_mode == StopMode::kTask) {
+      t.stopped = true;
+      t.stats.stopped = true;
+      recorder.record(now, trace::EventKind::kTaskStopped, trace_id(ev.index),
+                      t.has_current ? t.cur_index : trace::kNoJob, 0);
+      if (t.has_current) {
+        t.stats.aborted++;
+        retire_current_job(ev.index, JobOutcome::kAborted,
+                           trace::EventKind::kJobAborted);
+      }
+      // Released-but-unstarted jobs will never run.
+      while (t.next_start_index < t.next_release_index) {
+        t.outcomes[static_cast<std::size_t>(t.next_start_index)] =
+            JobOutcome::kSkipped;
+        t.next_start_index++;
+      }
+    } else {  // kJob
+      if (t.has_current) {
+        t.stats.aborted++;
+        retire_current_job(ev.index, JobOutcome::kAborted,
+                           trace::EventKind::kJobAborted);
+        if (t.next_start_index < t.next_release_index) {
+          start_next_job(ev.index);
+        }
+      }
+    }
+  }
+
+  void on_deadline_check(const Ev& ev) {
+    TaskRec& t = tasks[ev.index];
+    const auto idx = static_cast<std::size_t>(ev.job);
+    RTFT_ASSERT(idx < t.outcomes.size(), "deadline check for unreleased job");
+    if (t.outcomes[idx] != JobOutcome::kCompleted) {
+      t.stats.missed++;
+      recorder.record(now, trace::EventKind::kDeadlineMiss, trace_id(ev.index),
+                      ev.job, 0);
+    }
+  }
+
+  void dispatch(const Ev& ev) {
+    switch (ev.kind) {
+      case EvKind::kCompletion: on_completion(ev); break;
+      case EvKind::kOverheadDone: on_overhead_done(ev); break;
+      case EvKind::kStopEffect: on_stop_effect(ev); break;
+      case EvKind::kTimer: on_timer(ev); break;
+      case EvKind::kRelease: on_release(ev); break;
+      case EvKind::kDeadlineCheck: on_deadline_check(ev); break;
+    }
+  }
+
+  void run_until(Instant stop_at) {
+    RTFT_EXPECTS(stop_at <= options.horizon, "cannot run past the horizon");
+    RTFT_EXPECTS(stop_at >= now, "cannot run backwards");
+    while (!queue.empty() && queue.top().time <= stop_at) {
+      const Ev ev = queue.top();
+      queue.pop();
+      advance_to(ev.time);
+      dispatch(ev);
+      reschedule();
+    }
+    advance_to(stop_at);
+  }
+
+  Engine* owner = nullptr;  ///< back-pointer for handler invocation.
+};
+
+Engine::Engine(EngineOptions options)
+    : impl_(std::make_unique<Impl>(options)) {
+  RTFT_EXPECTS(options.horizon > Instant::epoch(),
+               "engine horizon must be positive");
+  RTFT_EXPECTS(!options.stop_poll_latency.is_negative(),
+               "stop poll latency must be non-negative");
+  RTFT_EXPECTS(!options.context_switch_cost.is_negative(),
+               "context switch cost must be non-negative");
+  impl_->owner = this;
+}
+
+Engine::~Engine() = default;
+
+TaskHandle Engine::add_task(const sched::TaskParams& params, CostModel cost,
+                            TaskCallbacks callbacks, Instant start) {
+  sched::validate_params(params);
+  const Instant first_release = start + params.offset;
+  RTFT_EXPECTS(first_release >= impl_->now,
+               "task '" + params.name + "': first release lies in the past");
+  TaskRec rec;
+  rec.params = params;
+  rec.cost_model = std::move(cost);
+  rec.callbacks = std::move(callbacks);
+  rec.start = start;
+  impl_->tasks.push_back(std::move(rec));
+  const TaskHandle handle = impl_->tasks.size() - 1;
+  impl_->push(Ev{first_release, EvKind::kRelease, 0, handle, 0, 0,
+                 StopMode::kTask});
+  return handle;
+}
+
+TimerHandle Engine::add_one_shot_timer(Instant when, TimerHandler handler) {
+  RTFT_EXPECTS(when >= impl_->now, "timer date lies in the past");
+  impl_->timers.push_back(TimerRec{std::move(handler), Duration::zero(),
+                                   false, false});
+  const TimerHandle handle = impl_->timers.size() - 1;
+  impl_->push(Ev{when, EvKind::kTimer, 0, handle, -1, 0, StopMode::kTask});
+  return handle;
+}
+
+TimerHandle Engine::add_periodic_timer(Instant first, Duration period,
+                                       TimerHandler handler) {
+  RTFT_EXPECTS(first >= impl_->now, "timer date lies in the past");
+  RTFT_EXPECTS(period.is_positive(), "timer period must be positive");
+  impl_->timers.push_back(
+      TimerRec{std::move(handler), period, true, false});
+  const TimerHandle handle = impl_->timers.size() - 1;
+  impl_->push(Ev{first, EvKind::kTimer, 0, handle, -1, 0, StopMode::kTask});
+  return handle;
+}
+
+void Engine::cancel_timer(TimerHandle timer) {
+  RTFT_EXPECTS(timer < impl_->timers.size(), "timer handle out of range");
+  impl_->timers[timer].cancelled = true;
+}
+
+void Engine::request_stop(TaskHandle task, StopMode mode,
+                          Duration extra_latency) {
+  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  RTFT_EXPECTS(!extra_latency.is_negative(), "latency must be non-negative");
+  TaskRec& t = impl_->tasks[task];
+  if (t.stopped) return;
+  impl_->recorder.record(impl_->now, trace::EventKind::kStopRequested,
+                         impl_->trace_id(task),
+                         t.has_current ? t.cur_index : trace::kNoJob, 0);
+  t.stop_in_flight = true;
+  impl_->push(Ev{impl_->now + impl_->options.stop_poll_latency + extra_latency,
+                 EvKind::kStopEffect, 0, task, -1, 0, mode});
+}
+
+void Engine::inject_overhead(Duration amount) {
+  impl_->inject_overhead_now(amount);
+  impl_->reschedule();
+}
+
+void Engine::run() { impl_->run_until(impl_->options.horizon); }
+
+void Engine::run_until(Instant stop_at) { impl_->run_until(stop_at); }
+
+Instant Engine::now() const { return impl_->now; }
+Instant Engine::horizon() const { return impl_->options.horizon; }
+std::size_t Engine::task_count() const { return impl_->tasks.size(); }
+
+const sched::TaskParams& Engine::params(TaskHandle task) const {
+  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  return impl_->tasks[task].params;
+}
+
+Instant Engine::first_release(TaskHandle task) const {
+  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  const TaskRec& t = impl_->tasks[task];
+  return t.start + t.params.offset;
+}
+
+const TaskStats& Engine::stats(TaskHandle task) const {
+  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  return impl_->tasks[task].stats;
+}
+
+JobOutcome Engine::job_outcome(TaskHandle task, std::int64_t job_index) const {
+  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  const TaskRec& t = impl_->tasks[task];
+  RTFT_EXPECTS(job_index >= 0 &&
+                   static_cast<std::size_t>(job_index) < t.outcomes.size(),
+               "job index not released");
+  return t.outcomes[static_cast<std::size_t>(job_index)];
+}
+
+bool Engine::job_completed(TaskHandle task, std::int64_t job_index) const {
+  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  const TaskRec& t = impl_->tasks[task];
+  if (job_index < 0 ||
+      static_cast<std::size_t>(job_index) >= t.outcomes.size()) {
+    return false;
+  }
+  return t.outcomes[static_cast<std::size_t>(job_index)] ==
+         JobOutcome::kCompleted;
+}
+
+std::int64_t Engine::jobs_released(TaskHandle task) const {
+  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  return impl_->tasks[task].stats.released;
+}
+
+trace::Recorder& Engine::recorder() { return impl_->recorder; }
+const trace::Recorder& Engine::recorder() const { return impl_->recorder; }
+
+}  // namespace rtft::rt

@@ -1,0 +1,29 @@
+#include "runtime/quantize.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtft::rt {
+
+Duration Quantizer::apply(Duration d) const {
+  RTFT_EXPECTS(resolution.is_positive(), "quantizer resolution must be > 0");
+  if (d.is_negative()) d = Duration::zero();
+  if (mode == Rounding::kNone) return d;
+  const std::int64_t res = resolution.count();
+  const std::int64_t v = d.count();
+  const std::int64_t down = (v / res) * res;
+  switch (mode) {
+    case Rounding::kDown:
+      return Duration::ns(down);
+    case Rounding::kUp:
+      return Duration::ns(v == down ? v : down + res);
+    case Rounding::kNearest: {
+      const std::int64_t rem = v - down;
+      return Duration::ns(rem * 2 >= res ? down + res : down);
+    }
+    case Rounding::kNone:
+      break;
+  }
+  return d;
+}
+
+}  // namespace rtft::rt

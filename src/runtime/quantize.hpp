@@ -1,0 +1,35 @@
+// Timer-date quantization, modelling the jRate PeriodicTimer quirk.
+//
+// Paper §6.2: "if the value given for the first release is not a multiple
+// of ten [milliseconds], the precision is not good. We thus voluntarily
+// round the release values of the detectors." — detector offsets 29/58/87
+// ms observably became 30/60/90 ms. The Quantizer reproduces that rounding
+// explicitly and configurably.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace rtft::rt {
+
+enum class Rounding {
+  kNone,     ///< exact dates (an ideal timer).
+  kNearest,  ///< to the nearest multiple of the resolution, ties upward.
+  kUp,       ///< to the next multiple (never early).
+  kDown,     ///< to the previous multiple (never late).
+};
+
+/// Rounds durations to a timer resolution grid.
+struct Quantizer {
+  Duration resolution = Duration::ms(10);  ///< jRate's observable grid.
+  Rounding mode = Rounding::kNone;
+
+  /// The quantized value; negative inputs clamp to zero first.
+  [[nodiscard]] Duration apply(Duration d) const;
+};
+
+/// The paper's configuration: 10 ms grid, round to nearest.
+[[nodiscard]] constexpr Quantizer jrate_quantizer() {
+  return Quantizer{Duration::ms(10), Rounding::kNearest};
+}
+
+}  // namespace rtft::rt

@@ -1,0 +1,34 @@
+#include "sched/aperiodic.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtft::sched {
+
+Duration polling_server_response_bound(Duration cost, Duration server_cost,
+                                       Duration server_period,
+                                       Duration server_wcrt) {
+  RTFT_EXPECTS(cost.is_positive(), "aperiodic cost must be positive");
+  RTFT_EXPECTS(server_cost.is_positive(), "server budget must be positive");
+  RTFT_EXPECTS(server_period.is_positive(),
+               "server period must be positive");
+  RTFT_EXPECTS(!server_wcrt.is_negative(), "server WCRT must be >= 0");
+  const std::int64_t polls = ceil_div(cost, server_cost);
+  return server_period * polls + server_wcrt;
+}
+
+Duration max_aperiodic_cost_within(Duration deadline, Duration server_cost,
+                                   Duration server_period,
+                                   Duration server_wcrt) {
+  RTFT_EXPECTS(server_cost.is_positive(), "server budget must be positive");
+  RTFT_EXPECTS(server_period.is_positive(),
+               "server period must be positive");
+  if (deadline <= server_period + server_wcrt) return Duration::zero();
+  // polls * Ts + wcrt <= D  =>  polls <= (D - wcrt) / Ts.
+  const std::int64_t polls = (deadline - server_wcrt) / server_period;
+  RTFT_ASSERT(polls >= 1, "guarded by the early return");
+  // cost <= polls * Cs, and a cost of exactly polls*Cs needs precisely
+  // `polls` polls.
+  return server_cost * polls;
+}
+
+}  // namespace rtft::sched

@@ -1,0 +1,39 @@
+// Aperiodic workload analysis under a polling server — the paper's §7
+// future work ("studying the faults detection and tolerance in the case
+// of aperiodic tasks"), realized with the textbook mechanism that fits
+// the paper's fixed-priority periodic framework: a *polling server*, a
+// periodic task (Cs, Ts) that serves queued aperiodic jobs up to its
+// budget each period. For admission control the server is just another
+// periodic task, so the paper's §2 analysis applies unchanged; this
+// header adds the aperiodic-side bounds.
+#pragma once
+
+#include "common/time.hpp"
+#include "sched/task.hpp"
+
+namespace rtft::sched {
+
+/// Sound upper bound on the response time of an aperiodic job of cost
+/// `cost` served FIFO by a polling server with budget `server_cost` per
+/// period `server_period`, assuming the job finds an empty queue and the
+/// server itself always completes within `server_wcrt` of its release
+/// (its WCRT from the periodic analysis).
+///
+/// Worst case: the job arrives just after a poll found the queue empty.
+/// It is first picked up one full period later, and needs
+/// ceil(cost / budget) server periods of service; the service inside the
+/// final period completes within the server's own WCRT.
+[[nodiscard]] Duration polling_server_response_bound(Duration cost,
+                                                     Duration server_cost,
+                                                     Duration server_period,
+                                                     Duration server_wcrt);
+
+/// Largest single aperiodic job cost whose bound fits within `deadline`
+/// (inverse of polling_server_response_bound); zero if even an
+/// infinitesimal job cannot make it.
+[[nodiscard]] Duration max_aperiodic_cost_within(Duration deadline,
+                                                 Duration server_cost,
+                                                 Duration server_period,
+                                                 Duration server_wcrt);
+
+}  // namespace rtft::sched

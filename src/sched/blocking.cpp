@@ -1,0 +1,121 @@
+#include "sched/blocking.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtft::sched {
+
+void ResourceModel::add(CriticalSection section) {
+  RTFT_EXPECTS(!section.task.empty(), "critical section needs a task");
+  RTFT_EXPECTS(!section.resource.empty(),
+               "critical section needs a resource");
+  RTFT_EXPECTS(section.duration.is_positive(),
+               "critical section duration must be positive");
+  sections_.push_back(std::move(section));
+}
+
+void ResourceModel::add(std::string task, std::string resource,
+                        Duration duration) {
+  add(CriticalSection{std::move(task), std::move(resource), duration});
+}
+
+void ResourceModel::validate_against(const TaskSet& ts) const {
+  for (const CriticalSection& s : sections_) {
+    RTFT_EXPECTS(ts.contains(s.task),
+                 "critical section references unknown task '" + s.task +
+                     "'");
+  }
+}
+
+std::optional<Priority> ResourceModel::ceiling(
+    const TaskSet& ts, std::string_view resource) const {
+  std::optional<Priority> best;
+  for (const CriticalSection& s : sections_) {
+    if (s.resource != resource) continue;
+    const Priority p = ts[ts.find(s.task)].priority;
+    if (!best || p > *best) best = p;
+  }
+  return best;
+}
+
+Duration ResourceModel::blocking_term(const TaskSet& ts, TaskId id) const {
+  validate_against(ts);
+  const Priority mine = ts[id].priority;
+  Duration worst;
+  for (const CriticalSection& s : sections_) {
+    const TaskId owner = ts.find(s.task);
+    if (owner == id) continue;
+    if (ts[owner].priority >= mine) continue;  // only lower tasks block
+    const auto c = ceiling(ts, s.resource);
+    RTFT_ASSERT(c.has_value(), "section's resource must have a ceiling");
+    if (*c < mine) continue;  // ceiling below us: we never contend
+    if (s.duration > worst) worst = s.duration;
+  }
+  return worst;
+}
+
+BlockingVerdict response_time_with_blocking(const TaskSet& ts, TaskId id,
+                                            const ResourceModel& resources,
+                                            const RtaOptions& opts) {
+  BlockingVerdict v;
+  v.id = id;
+  v.blocking = resources.blocking_term(ts, id);
+  // Fold B_i into the task's own cost for the q = 0 fixed point: the
+  // classic R = C + B + interference. Reuse the single-job analysis on a
+  // copy with the inflated cost (interference terms are unchanged —
+  // other tasks keep their own costs).
+  const TaskSet inflated = ts.with_cost(id, ts[id].cost + v.blocking);
+  const auto r = classic_response_time(inflated, id, opts);
+  if (r.has_value()) {
+    v.bounded = true;
+    v.wcrt = *r;
+    v.meets_deadline = v.wcrt <= ts[id].deadline;
+  }
+  return v;
+}
+
+BlockingReport analyze_with_blocking(const TaskSet& ts,
+                                     const ResourceModel& resources,
+                                     const RtaOptions& opts) {
+  BlockingReport report;
+  report.feasible = true;
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    BlockingVerdict v = response_time_with_blocking(ts, i, resources, opts);
+    report.feasible = report.feasible && v.meets_deadline;
+    report.tasks.push_back(std::move(v));
+  }
+  return report;
+}
+
+Duration equitable_allowance_with_blocking(const TaskSet& ts,
+                                           const ResourceModel& resources,
+                                           Duration granularity,
+                                           const RtaOptions& opts) {
+  RTFT_EXPECTS(granularity.is_positive(), "granularity must be positive");
+  const auto feasible = [&](Duration a) {
+    return analyze_with_blocking(ts.with_all_costs_inflated(a), resources,
+                                 opts)
+        .feasible;
+  };
+  if (!feasible(Duration::zero())) return Duration::zero();
+  // Same monotone search as the blocking-free case: beyond the smallest
+  // deadline-minus-cost slack some task provably misses.
+  Duration bound = Duration::max();
+  for (const TaskParams& t : ts) {
+    const Duration slack = t.deadline - t.cost;
+    if (slack < bound) bound = slack;
+  }
+  if (bound.is_negative()) bound = Duration::zero();
+  std::int64_t lo = 0;
+  std::int64_t hi = ceil_div(bound + Duration::ns(1), granularity);
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (feasible(granularity * mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return granularity * lo;
+}
+
+}  // namespace rtft::sched

@@ -1,0 +1,96 @@
+// Shared-resource blocking analysis — the paper's §7 future work
+// ("the issues deriving from the share of resources among the various
+// tasks… it would be advisable to study the influence of tolerance on
+// the determination of the blocking time (bi)").
+//
+// Tasks declare critical sections on named resources. Under the Priority
+// Ceiling Protocol (the locking policy the RTSJ mandates for its
+// PriorityCeilingEmulation monitors), a task is blocked at most once, by
+// at most the longest critical section of a lower-priority task on a
+// resource whose ceiling is at least the task's priority:
+//
+//   ceiling(R) = max { priority(τj) : τj uses R }
+//   B_i = max  { d : (τj, R, d) with priority(τj) < priority(τi)
+//                     and ceiling(R) >= priority(τi) }
+//
+// The response-time analysis then adds B_i once to the fixed point
+// (valid for constrained deadlines, D <= T), and the allowance search of
+// §4.2 runs unchanged on top — answering the paper's question: tolerance
+// and blocking compose additively in the fixed point, so the allowance
+// shrinks by exactly the response-time inflation the blocking causes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/response_time.hpp"
+#include "sched/task.hpp"
+
+namespace rtft::sched {
+
+/// One declared critical section.
+struct CriticalSection {
+  std::string task;      ///< task name.
+  std::string resource;  ///< resource name.
+  Duration duration;     ///< worst-case lock-holding time.
+};
+
+/// Declares which tasks lock which resources and for how long.
+class ResourceModel {
+ public:
+  void add(CriticalSection section);
+  void add(std::string task, std::string resource, Duration duration);
+
+  [[nodiscard]] bool empty() const { return sections_.empty(); }
+  [[nodiscard]] const std::vector<CriticalSection>& sections() const {
+    return sections_;
+  }
+
+  /// Throws if a section references a task absent from `ts`.
+  void validate_against(const TaskSet& ts) const;
+
+  /// PCP priority ceiling of `resource` in `ts`; nullopt if unused.
+  [[nodiscard]] std::optional<Priority> ceiling(const TaskSet& ts,
+                                                std::string_view resource) const;
+
+  /// PCP blocking bound B_i for task `id`.
+  [[nodiscard]] Duration blocking_term(const TaskSet& ts, TaskId id) const;
+
+ private:
+  std::vector<CriticalSection> sections_;
+};
+
+/// Per-task outcome of the blocking-aware analysis.
+struct BlockingVerdict {
+  TaskId id = 0;
+  Duration blocking;          ///< B_i.
+  bool bounded = false;
+  Duration wcrt;              ///< includes the blocking term.
+  bool meets_deadline = false;
+};
+
+/// Blocking-aware response time of one task: least fixed point of
+/// R = C_i + B_i + Σ ceil(R/T_j)·C_j. Valid for constrained deadlines
+/// (D <= T); callers with D > T should treat the result as approximate.
+[[nodiscard]] BlockingVerdict response_time_with_blocking(
+    const TaskSet& ts, TaskId id, const ResourceModel& resources,
+    const RtaOptions& opts = {});
+
+/// Blocking-aware feasibility of the whole set.
+struct BlockingReport {
+  bool feasible = false;
+  std::vector<BlockingVerdict> tasks;  ///< TaskId order.
+};
+[[nodiscard]] BlockingReport analyze_with_blocking(
+    const TaskSet& ts, const ResourceModel& resources,
+    const RtaOptions& opts = {});
+
+/// §4.2's equitable allowance, blocking-aware: the largest A such that
+/// every task still meets its deadline with all costs inflated by A and
+/// blocking terms in place.
+[[nodiscard]] Duration equitable_allowance_with_blocking(
+    const TaskSet& ts, const ResourceModel& resources,
+    Duration granularity = Duration::ns(1), const RtaOptions& opts = {});
+
+}  // namespace rtft::sched

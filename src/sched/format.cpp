@@ -1,0 +1,62 @@
+#include "sched/format.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace rtft::sched {
+
+std::string format_task_table(const TaskSet& ts, const TableColumns& cols) {
+  const std::size_t n = ts.size();
+  if (cols.wcrt) RTFT_EXPECTS(cols.wcrt->size() == n, "wcrt column size");
+  if (cols.allowance)
+    RTFT_EXPECTS(cols.allowance->size() == n, "allowance column size");
+  if (cols.threshold)
+    RTFT_EXPECTS(cols.threshold->size() == n, "threshold column size");
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"task", "Pi", "Ti", "Di", "Ci"};
+  if (cols.wcrt) header.push_back("WCRTi");
+  if (cols.allowance) header.push_back("Ai");
+  if (cols.threshold) header.push_back("stop");
+  rows.push_back(header);
+
+  for (TaskId i = 0; i < n; ++i) {
+    const TaskParams& t = ts[i];
+    std::vector<std::string> row{t.name, std::to_string(t.priority),
+                                 to_string(t.period), to_string(t.deadline),
+                                 to_string(t.cost)};
+    if (cols.wcrt) row.push_back(to_string((*cols.wcrt)[i]));
+    if (cols.allowance) row.push_back(to_string((*cols.allowance)[i]));
+    if (cols.threshold) row.push_back(to_string((*cols.threshold)[i]));
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::size_t> widths(rows[0].size(), 0);
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out << "  ";
+      out << (c == 0 ? pad_right(rows[r][c], widths[c])
+                     : pad_left(rows[r][c], widths[c]));
+    }
+    out << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c > 0 ? 2 : 0);
+      }
+      out << std::string(total, '-') << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace rtft::sched

@@ -1,0 +1,26 @@
+// Paper-style table rendering of task sets and analysis results.
+//
+// Produces the row layout of the paper's Tables 1–3:
+//   name  Pi  Ti  Di  Ci  [WCRTi]  [Ai]
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/task.hpp"
+
+namespace rtft::sched {
+
+/// Optional per-task columns appended to the base table.
+struct TableColumns {
+  const std::vector<Duration>* wcrt = nullptr;       ///< "WCRTi"
+  const std::vector<Duration>* allowance = nullptr;  ///< "Ai"
+  const std::vector<Duration>* threshold = nullptr;  ///< "stop threshold"
+};
+
+/// Renders the task set as an aligned text table (TaskId order).
+[[nodiscard]] std::string format_task_table(const TaskSet& ts,
+                                            const TableColumns& cols = {});
+
+}  // namespace rtft::sched

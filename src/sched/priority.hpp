@@ -1,0 +1,40 @@
+// Priority assignment policies.
+//
+// The paper fixes priorities by hand (RTSJ integers, larger = more
+// urgent). These helpers assign them automatically: rate-monotonic and
+// deadline-monotonic (Audsley et al. 1991, the paper's ref [1]) plus
+// Audsley's optimal priority assignment, which is optimal for the
+// arbitrary-deadline analysis used here.
+#pragma once
+
+#include <optional>
+
+#include "sched/response_time.hpp"
+#include "sched/task.hpp"
+
+namespace rtft::sched {
+
+/// The RTSJ PriorityScheduler exposes 28 real-time priorities; we mirror
+/// its conventional range.
+inline constexpr Priority kMinRtPriority = 11;
+inline constexpr Priority kMaxRtPriority = 38;
+
+/// Copy of `ts` with rate-monotonic priorities: shorter period = higher
+/// priority. Ties broken by TaskId. Priorities are assigned downward from
+/// `top` (default RTSJ max).
+[[nodiscard]] TaskSet with_rate_monotonic_priorities(
+    const TaskSet& ts, Priority top = kMaxRtPriority);
+
+/// Copy of `ts` with deadline-monotonic priorities: shorter relative
+/// deadline = higher priority. Optimal for D <= T.
+[[nodiscard]] TaskSet with_deadline_monotonic_priorities(
+    const TaskSet& ts, Priority top = kMaxRtPriority);
+
+/// Audsley's optimal priority assignment: returns a copy of `ts` with a
+/// feasible priority order if any fixed-priority order is feasible under
+/// the response-time analysis; nullopt otherwise.
+[[nodiscard]] std::optional<TaskSet> audsley_assignment(
+    const TaskSet& ts, Priority top = kMaxRtPriority,
+    const RtaOptions& opts = {});
+
+}  // namespace rtft::sched

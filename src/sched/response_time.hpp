@@ -1,0 +1,73 @@
+// Worst-case response time (WCRT) analysis for fixed-priority preemptive
+// uniprocessor scheduling — the paper's §2.2 / Figure 2 algorithm.
+//
+// The general algorithm (Lehoczky 1990) iterates over the jobs of the
+// level-i busy period: job q's completion R(q) is the least fixed point of
+//
+//   R = (q+1)·Ci + Σ_{j ∈ HP(i)} ceil(R / Tj) · Cj
+//
+// its response is R(q) − q·Ti, and iteration stops at the first q with
+// R(q) <= (q+1)·Ti (that job no longer pushes work onto the next one).
+// The WCRT is the maximum response observed. When Di <= Ti this reduces
+// to the classic Joseph & Pandya single-job fixed point (q = 0).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sched/task.hpp"
+
+namespace rtft::sched {
+
+/// Guard rails for the iterative analysis. Divergent systems (load >= 1
+/// among interferers) are detected exactly beforehand where possible and
+/// otherwise cut off by these caps.
+struct RtaOptions {
+  /// Maximum number of jobs examined in the level-i busy period.
+  std::int64_t max_jobs = 1 << 20;
+  /// Maximum total fixed-point iterations across all jobs.
+  std::int64_t max_iterations = 1 << 26;
+  /// Record the per-job responses (Table 1 / Figure 1 reproduction).
+  bool record_jobs = false;
+  /// Cap on the number of recorded jobs when record_jobs is set.
+  std::size_t max_recorded_jobs = 4096;
+};
+
+/// Response of one job of the analyzed task within the level-i busy
+/// period started at the critical instant.
+struct JobResponse {
+  std::int64_t index = 0;    ///< q — 0-based job index.
+  Duration completion;       ///< R(q), from the critical instant.
+  Duration response;         ///< R(q) − q·Ti.
+};
+
+/// Outcome of the analysis of one task.
+struct RtaResult {
+  /// False when the busy period provably never ends (interfering load
+  /// >= 1) or a guard rail was hit; `wcrt` is then meaningless.
+  bool bounded = false;
+  Duration wcrt;             ///< max over jobs of R(q) − q·Ti.
+  std::int64_t worst_job = 0;///< q achieving the maximum.
+  std::int64_t jobs_examined = 0;
+  std::vector<JobResponse> jobs;  ///< filled when RtaOptions::record_jobs.
+};
+
+/// Worst-case response time of task `id` within `ts` (paper Figure 2).
+/// Offsets are ignored: the critical instant (synchronous release) is a
+/// sound worst case for fixed-priority scheduling.
+[[nodiscard]] RtaResult response_time(const TaskSet& ts, TaskId id,
+                                      const RtaOptions& opts = {});
+
+/// Classic single-job fixed point (valid as the WCRT when the result does
+/// not exceed the period). Returns nullopt when iteration diverges.
+/// Kept separate because tests cross-validate it against the general
+/// algorithm, and because it is the textbook form (Joseph & Pandya).
+[[nodiscard]] std::optional<Duration> classic_response_time(
+    const TaskSet& ts, TaskId id, const RtaOptions& opts = {});
+
+/// Convenience: WCRT of every task, in TaskId order.
+[[nodiscard]] std::vector<RtaResult> response_times(const TaskSet& ts,
+                                                    const RtaOptions& opts = {});
+
+}  // namespace rtft::sched

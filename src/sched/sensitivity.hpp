@@ -1,0 +1,57 @@
+// Sensitivity analysis companions to the paper's §4 allowance.
+//
+// The paper's allowance is *additive*: the largest constant addable to
+// every cost. Two classic relatives complete the picture:
+//
+//   * jitter-aware response times — release jitter J_j inflates the
+//     interference term to ceil((R + J_j)/T_j)·C_j and a task's own
+//     response by J_i (Audsley et al., the paper's ref [1] lineage);
+//     detectors armed at jitter-aware WCRTs stay sound when releases
+//     wobble (e.g. the 10 ms timer grid of §6.2 seen as release jitter);
+//
+//   * the critical scaling factor — the largest λ such that the system
+//     stays feasible with every cost multiplied by λ (Lehoczky's
+//     multiplicative stress measure). λ > 1 quantifies global headroom
+//     the way the allowance A quantifies per-task headroom.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/response_time.hpp"
+#include "sched/task.hpp"
+
+namespace rtft::sched {
+
+/// Jitter-aware single-job response time (constrained deadlines):
+/// least fixed point of  R = C_i + Σ_j ceil((R + J_j)/T_j)·C_j,
+/// reported response = R + J_i. `jitters` is in TaskId order.
+/// Returns nullopt when the iteration diverges.
+[[nodiscard]] std::optional<Duration> response_time_with_jitter(
+    const TaskSet& ts, TaskId id, const std::vector<Duration>& jitters,
+    const RtaOptions& opts = {});
+
+/// True iff every task meets its deadline under the given jitters.
+[[nodiscard]] bool is_feasible_with_jitter(
+    const TaskSet& ts, const std::vector<Duration>& jitters,
+    const RtaOptions& opts = {});
+
+/// Result of the critical-scaling search.
+struct ScalingFactor {
+  /// λ in parts-per-million (1'000'000 = exactly the current costs).
+  std::int64_t ppm = 0;
+  [[nodiscard]] double value() const {
+    return static_cast<double>(ppm) / 1e6;
+  }
+};
+
+/// Largest λ (to `precision_ppm`) with the system feasible at costs
+/// scaled by λ. For a feasible system λ >= 1; for an infeasible one the
+/// result is the shrink factor (< 1) that would rescue it; zero if even
+/// vanishing costs miss (deadline shorter than any work, impossible here
+/// since costs scale to ~0 — so only returned for empty search ranges).
+[[nodiscard]] ScalingFactor critical_scaling_factor(
+    const TaskSet& ts, std::int64_t precision_ppm = 1'000,
+    const RtaOptions& opts = {});
+
+}  // namespace rtft::sched

@@ -1,0 +1,41 @@
+#include "sched/utilization.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/math.hpp"
+
+namespace rtft::sched {
+
+LoadVerdict load_test(const TaskSet& ts) {
+  std::vector<Duration> costs;
+  std::vector<Duration> periods;
+  costs.reserve(ts.size());
+  periods.reserve(ts.size());
+  for (const TaskParams& t : ts) {
+    costs.push_back(t.cost);
+    periods.push_back(t.period);
+  }
+  const int cmp = compare_load_to_one(costs, periods);
+  if (cmp > 0) return LoadVerdict::kAboveOne;
+  if (cmp == 0) return LoadVerdict::kExactlyOne;
+  return LoadVerdict::kBelowOne;
+}
+
+double liu_layland_bound(std::size_t n) {
+  if (n == 0) return 1.0;
+  const double nd = static_cast<double>(n);
+  return nd * (std::pow(2.0, 1.0 / nd) - 1.0);
+}
+
+bool passes_liu_layland(const TaskSet& ts) {
+  return ts.utilization() <= liu_layland_bound(ts.size());
+}
+
+bool passes_hyperbolic(const TaskSet& ts) {
+  double product = 1.0;
+  for (const TaskParams& t : ts) product *= t.utilization() + 1.0;
+  return product <= 2.0;
+}
+
+}  // namespace rtft::sched

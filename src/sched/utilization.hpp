@@ -1,0 +1,37 @@
+// Utilization-based admission tests (paper §2.1 and the classic bounds the
+// paper's state of the art surveys: Liu & Layland 1973, Bini & Buttazzo
+// 2003 hyperbolic bound).
+//
+// The load test alone is necessary but not sufficient: U > 1 proves
+// infeasibility; U <= 1 "is not enough to conclude" (paper §2.1) except
+// through the sufficient-only bounds below.
+#pragma once
+
+#include "sched/task.hpp"
+
+namespace rtft::sched {
+
+/// Exact verdict of the necessary load test U = Σ Ci/Ti vs 1.
+enum class LoadVerdict {
+  kBelowOne,   ///< U < 1 — inconclusive, run response-time analysis.
+  kExactlyOne, ///< U = 1 — boundary; only specific structures are feasible.
+  kAboveOne,   ///< U > 1 — provably infeasible.
+};
+
+/// Compares the task set's utilization to 1 using exact integer
+/// arithmetic (no floating-point rounding at the boundary).
+[[nodiscard]] LoadVerdict load_test(const TaskSet& ts);
+
+/// Liu & Layland's RM bound n(2^{1/n} - 1). Sufficient for implicit
+/// deadlines (D = T) under rate-monotonic priorities.
+[[nodiscard]] double liu_layland_bound(std::size_t n);
+
+/// True if U <= liu_layland_bound(n): the set is feasible under RM with
+/// implicit deadlines. False is inconclusive.
+[[nodiscard]] bool passes_liu_layland(const TaskSet& ts);
+
+/// Bini & Buttazzo's hyperbolic bound: Π (Ui + 1) <= 2 is sufficient for
+/// RM with implicit deadlines, and strictly dominates Liu & Layland.
+[[nodiscard]] bool passes_hyperbolic(const TaskSet& ts);
+
+}  // namespace rtft::sched

@@ -1,0 +1,146 @@
+#include "trace/ascii_chart.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace rtft::trace {
+namespace {
+
+struct Glyphs {
+  std::string release;
+  std::string deadline;
+  std::string both;      ///< release and deadline in the same column.
+  std::string detector;
+  std::string stop;
+  std::string exec;
+  std::string wait;
+};
+
+Glyphs glyphs_for(bool unicode) {
+  if (unicode) return {"↑", "↓", "↕", "◆", "X", "█", "·"};
+  return {"^", "v", "|", "*", "X", "#", "."};
+}
+
+/// A row of per-column cells, each one glyph (possibly multi-byte).
+class Row {
+ public:
+  explicit Row(std::size_t width) : cells_(width, " ") {}
+  void set(std::size_t col, const std::string& glyph) {
+    if (col < cells_.size()) cells_[col] = glyph;
+  }
+  [[nodiscard]] const std::string& at(std::size_t col) const {
+    return cells_[col];
+  }
+  [[nodiscard]] std::string str() const {
+    std::string out;
+    for (const std::string& c : cells_) out += c;
+    return out;
+  }
+
+ private:
+  std::vector<std::string> cells_;
+};
+
+}  // namespace
+
+std::string render_ascii_chart(const SystemTimeline& tl,
+                               const AsciiChartOptions& opts) {
+  RTFT_EXPECTS(opts.width >= 10, "chart needs at least 10 columns");
+  Instant from = opts.from;
+  Instant to = opts.to;
+  if (from == Instant() && to == Instant()) {
+    from = tl.start;
+    to = tl.end;
+  }
+  RTFT_EXPECTS(to > from, "chart window must be non-empty");
+  const Glyphs g = glyphs_for(opts.unicode);
+  const Duration span = to - from;
+
+  const auto column_of = [&](Instant t) -> std::ptrdiff_t {
+    if (t < from || t > to) return -1;
+    const auto w = static_cast<std::int64_t>(opts.width);
+    std::int64_t col = ((t - from).count() * w) / span.count();
+    if (col >= w) col = w - 1;  // the window's end maps into the last cell
+    return static_cast<std::ptrdiff_t>(col);
+  };
+
+  std::size_t label_width = 4;
+  for (const TaskTimeline& task : tl.tasks) {
+    label_width = std::max(label_width, task.name.size());
+  }
+
+  std::ostringstream out;
+  out << std::string(label_width + 2, ' ') << '[' << to_string(from) << " .. "
+      << to_string(to) << ", " << to_string(span / static_cast<std::int64_t>(
+                                                opts.width))
+      << "/col]\n";
+
+  for (const TaskTimeline& task : tl.tasks) {
+    Row markers(opts.width);
+    Row exec(opts.width);
+
+    for (const JobRecord& job : task.jobs) {
+      // Waiting shade between release and retirement.
+      Instant retired = to;
+      if (job.end) retired = *job.end;
+      if (job.aborted_at) retired = *job.aborted_at;
+      const Instant wait_from = std::max(job.release, from);
+      const Instant wait_to = std::min(retired, to);
+      if (wait_from < wait_to) {
+        const auto c0 = column_of(wait_from);
+        const auto c1 = column_of(wait_to - Duration::ns(1));
+        for (std::ptrdiff_t c = c0; c >= 0 && c <= c1; ++c) {
+          exec.set(static_cast<std::size_t>(c), g.wait);
+        }
+      }
+      // Execution spans overwrite the waiting shade.
+      for (const ExecutionSpan& s : job.spans) {
+        const Instant b = std::max(s.begin, from);
+        const Instant e = std::min(s.end, to);
+        if (b >= e) continue;
+        const auto c0 = column_of(b);
+        const auto c1 = column_of(e - Duration::ns(1));
+        for (std::ptrdiff_t c = c0; c >= 0 && c <= c1; ++c) {
+          exec.set(static_cast<std::size_t>(c), g.exec);
+        }
+      }
+      // Markers.
+      if (const auto c = column_of(job.release); c >= 0) {
+        markers.set(static_cast<std::size_t>(c), g.release);
+      }
+      if (const auto c = column_of(job.deadline); c >= 0) {
+        const auto col = static_cast<std::size_t>(c);
+        markers.set(col,
+                    markers.at(col) == g.release ? g.both : g.deadline);
+      }
+      if (job.aborted_at) {
+        if (const auto c = column_of(*job.aborted_at); c >= 0) {
+          exec.set(static_cast<std::size_t>(c), g.stop);
+        }
+      }
+    }
+    for (const Instant t : task.detector_fires) {
+      if (const auto c = column_of(t); c >= 0) {
+        markers.set(static_cast<std::size_t>(c), g.detector);
+      }
+    }
+
+    out << pad_right(task.name, label_width) << "  " << markers.str()
+        << '\n';
+    out << std::string(label_width, ' ') << "  " << exec.str() << '\n';
+  }
+
+  if (opts.legend) {
+    out << std::string(label_width + 2, ' ') << g.release << " release  "
+        << g.deadline << " deadline  " << g.detector << " detector  "
+        << g.exec << " running  " << g.wait << " waiting  " << g.stop
+        << " stopped\n";
+  }
+  return out.str();
+}
+
+}  // namespace rtft::trace

@@ -1,0 +1,32 @@
+// Text time-series chart in the style of the paper's Figures 3–7.
+//
+// Two lines per task: a marker line carrying the paper's glyphs —
+// ↑ releases ("periods"), ↓ deadlines, ◆ detector releases, > stop
+// thresholds are visible through the detector marks, X the stop — and an
+// execution line showing when the task held the CPU (█), was released but
+// waiting (·), or had nothing pending (blank).
+#pragma once
+
+#include <string>
+
+#include "trace/timeline.hpp"
+
+namespace rtft::trace {
+
+struct AsciiChartOptions {
+  /// Window to render; a default-constructed range means the whole run.
+  Instant from;
+  Instant to;
+  /// Chart width in character columns.
+  std::size_t width = 100;
+  /// Unicode glyphs (↑↓◆█·) when true, pure ASCII (^v*#.) otherwise.
+  bool unicode = false;
+  /// Append the glyph legend.
+  bool legend = true;
+};
+
+/// Renders the timeline as a deterministic text chart.
+[[nodiscard]] std::string render_ascii_chart(const SystemTimeline& tl,
+                                             const AsciiChartOptions& opts = {});
+
+}  // namespace rtft::trace

@@ -1,0 +1,53 @@
+// Trace event model (paper §5).
+//
+// The paper records "the key dates in the system life" — job begins, job
+// ends, detector releases — into in-memory buffers, flushed to a log file
+// only after the run so that I/O never perturbs the system. The recorder
+// here follows the same discipline: fixed-size POD events appended to a
+// preallocated vector.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/time.hpp"
+
+namespace rtft::trace {
+
+/// Sentinel for events not attached to a task (timers, engine lifecycle).
+inline constexpr std::uint32_t kNoTask = 0xffffffffu;
+/// Sentinel for events not attached to a job.
+inline constexpr std::int64_t kNoJob = -1;
+
+/// Every observable occurrence in an execution.
+enum class EventKind : std::uint8_t {
+  kJobRelease,     ///< job became eligible (nominal release date).
+  kJobStart,       ///< job first obtained the CPU.
+  kJobPreempted,   ///< job lost the CPU to a higher-priority activity.
+  kJobResumed,     ///< job regained the CPU.
+  kJobEnd,         ///< job completed its work. detail = response time (ns).
+  kJobAborted,     ///< job terminated by a stop request before completing.
+  kDeadlineMiss,   ///< job's deadline passed without completion.
+  kTaskStopped,    ///< task terminated by a treatment (no future releases).
+  kStopRequested,  ///< treatment asked the task to stop.
+  kTimerFire,      ///< a timer handler ran. detail = timer id.
+  kDetectorFire,   ///< fault detector released (paper's ▲ marks).
+  kFaultDetected,  ///< detector found the watched job unfinished.
+  kOverrunInjected,///< fault injection gave this job extra cost (detail=ns).
+  kIdleStart,      ///< CPU went idle.
+  kIdleEnd,        ///< CPU left idle.
+};
+
+/// Short stable name for logs and golden tests.
+[[nodiscard]] std::string_view to_string(EventKind kind);
+
+/// One trace record. POD; 32 bytes.
+struct TraceEvent {
+  Instant time;                 ///< virtual (or wall) date of the event.
+  std::int64_t job = kNoJob;    ///< 0-based job index, if applicable.
+  std::int64_t detail = 0;      ///< kind-specific payload (see EventKind).
+  std::uint32_t task = kNoTask; ///< TaskId, if applicable.
+  EventKind kind{};
+};
+
+}  // namespace rtft::trace

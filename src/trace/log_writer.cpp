@@ -1,0 +1,82 @@
+#include "trace/log_writer.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace rtft::trace {
+namespace {
+
+std::string task_name(const sched::TaskSet& ts, std::uint32_t task) {
+  if (task == kNoTask) return "-";
+  RTFT_EXPECTS(task < ts.size(), "event references unknown task");
+  return ts[task].name;
+}
+
+}  // namespace
+
+void write_text_log(const Recorder& recorder, const sched::TaskSet& ts,
+                    std::ostream& out) {
+  for (const TraceEvent& e : recorder.events()) {
+    out << pad_left(to_string(e.time), 12) << "  "
+        << pad_right(std::string(to_string(e.kind)), 16) << " task="
+        << pad_right(task_name(ts, e.task), 10);
+    if (e.job != kNoJob) out << " job=" << e.job;
+    if (e.detail != 0) out << " detail=" << e.detail;
+    out << '\n';
+  }
+}
+
+void write_csv(const Recorder& recorder, const sched::TaskSet& ts,
+               std::ostream& out) {
+  out << "time_ns,kind,task,job,detail\n";
+  for (const TraceEvent& e : recorder.events()) {
+    out << e.time.count() << ',' << to_string(e.kind) << ','
+        << task_name(ts, e.task) << ',' << e.job << ',' << e.detail << '\n';
+  }
+}
+
+void write_json(const Recorder& recorder, const sched::TaskSet& ts,
+                std::ostream& out) {
+  out << "[\n";
+  bool first = true;
+  for (const TraceEvent& e : recorder.events()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"time_ns\": " << e.time.count() << ", \"kind\": \""
+        << to_string(e.kind) << "\", \"task\": \"" << task_name(ts, e.task)
+        << "\", \"job\": " << e.job << ", \"detail\": " << e.detail << '}';
+  }
+  out << "\n]\n";
+}
+
+std::string text_log_string(const Recorder& recorder,
+                            const sched::TaskSet& ts) {
+  std::ostringstream out;
+  write_text_log(recorder, ts, out);
+  return out.str();
+}
+
+std::string csv_string(const Recorder& recorder, const sched::TaskSet& ts) {
+  std::ostringstream out;
+  write_csv(recorder, ts, out);
+  return out.str();
+}
+
+std::string json_string(const Recorder& recorder, const sched::TaskSet& ts) {
+  std::ostringstream out;
+  write_json(recorder, ts, out);
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  RTFT_EXPECTS(out.good(), "cannot open '" + path + "' for writing");
+  out << content;
+  RTFT_EXPECTS(out.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace rtft::trace

@@ -1,0 +1,51 @@
+#include "trace/recorder.hpp"
+
+namespace rtft::trace {
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJobRelease: return "release";
+    case EventKind::kJobStart: return "start";
+    case EventKind::kJobPreempted: return "preempted";
+    case EventKind::kJobResumed: return "resumed";
+    case EventKind::kJobEnd: return "end";
+    case EventKind::kJobAborted: return "aborted";
+    case EventKind::kDeadlineMiss: return "deadline-miss";
+    case EventKind::kTaskStopped: return "task-stopped";
+    case EventKind::kStopRequested: return "stop-requested";
+    case EventKind::kTimerFire: return "timer-fire";
+    case EventKind::kDetectorFire: return "detector-fire";
+    case EventKind::kFaultDetected: return "fault-detected";
+    case EventKind::kOverrunInjected: return "overrun-injected";
+    case EventKind::kIdleStart: return "idle-start";
+    case EventKind::kIdleEnd: return "idle-end";
+  }
+  return "unknown";
+}
+
+Recorder::Recorder(std::size_t reserve) { events_.reserve(reserve); }
+
+void Recorder::record(TraceEvent event) { events_.push_back(event); }
+
+void Recorder::record(Instant time, EventKind kind, std::uint32_t task,
+                      std::int64_t job, std::int64_t detail) {
+  events_.push_back(TraceEvent{time, job, detail, task, kind});
+}
+
+std::vector<TraceEvent> Recorder::of_kind(EventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Recorder::of_task(std::uint32_t task) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.task == task) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace rtft::trace

@@ -1,0 +1,42 @@
+// In-memory trace recorder (paper §5: StringBuffer-buffered measurements,
+// written out only after the run).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trace/events.hpp"
+
+namespace rtft::trace {
+
+/// Append-only event buffer. Preallocates so that recording during a
+/// simulated (or wall-clock) run performs no I/O and, until the reserve
+/// is exhausted, no allocation.
+class Recorder {
+ public:
+  /// `reserve` — number of events to preallocate.
+  explicit Recorder(std::size_t reserve = 1 << 16);
+
+  void record(TraceEvent event);
+
+  /// Convenience: build + record.
+  void record(Instant time, EventKind kind, std::uint32_t task = kNoTask,
+              std::int64_t job = kNoJob, std::int64_t detail = 0);
+
+  [[nodiscard]] std::span<const TraceEvent> events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind, in record order.
+  [[nodiscard]] std::vector<TraceEvent> of_kind(EventKind kind) const;
+  /// Events of one task, in record order.
+  [[nodiscard]] std::vector<TraceEvent> of_task(std::uint32_t task) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace rtft::trace

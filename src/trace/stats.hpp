@@ -1,0 +1,41 @@
+// Run statistics computed from a reconstructed timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/timeline.hpp"
+
+namespace rtft::trace {
+
+/// Aggregates over one task's completed/failed jobs.
+struct TaskStatsSummary {
+  std::string name;
+  std::int64_t released = 0;
+  std::int64_t completed = 0;
+  std::int64_t missed = 0;
+  std::int64_t aborted = 0;
+  Duration min_response;            ///< over completed jobs; zero if none.
+  Duration max_response;
+  Duration mean_response;
+  Duration cpu_time;                ///< total execution-span length.
+  std::int64_t detector_fires = 0;
+  std::int64_t faults_detected = 0;
+  bool stopped = false;
+};
+
+/// Whole-run aggregates.
+struct SystemStatsSummary {
+  std::vector<TaskStatsSummary> tasks;  ///< TaskId order.
+  Duration window;                      ///< end - start.
+  Duration idle_time;
+  double cpu_utilization = 0.0;         ///< busy / window.
+  std::int64_t total_misses = 0;
+
+  /// Aligned text table of the per-task rows.
+  [[nodiscard]] std::string table() const;
+};
+
+[[nodiscard]] SystemStatsSummary compute_stats(const SystemTimeline& tl);
+
+}  // namespace rtft::trace

@@ -1,0 +1,25 @@
+// SVG time-series chart — the vector-graphics counterpart of the ASCII
+// chart, matching the paper's figure layout: one lane per task, execution
+// rectangles, release/deadline arrows, detector diamonds, stop crosses.
+#pragma once
+
+#include <string>
+
+#include "trace/timeline.hpp"
+
+namespace rtft::trace {
+
+struct SvgChartOptions {
+  /// Window to render; a default-constructed range means the whole run.
+  Instant from;
+  Instant to;
+  int width_px = 960;
+  int lane_height_px = 48;
+  bool show_grid = true;
+};
+
+/// Renders the timeline as a standalone SVG document (deterministic).
+[[nodiscard]] std::string render_svg_chart(const SystemTimeline& tl,
+                                           const SvgChartOptions& opts = {});
+
+}  // namespace rtft::trace

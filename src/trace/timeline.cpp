@@ -1,0 +1,111 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rtft::trace {
+
+SystemTimeline build_timeline(const sched::TaskSet& ts,
+                              const Recorder& recorder, Instant horizon) {
+  SystemTimeline out;
+  out.start = Instant::epoch();
+  out.end = horizon;
+  out.tasks.resize(ts.size());
+  for (sched::TaskId i = 0; i < ts.size(); ++i) {
+    out.tasks[i].task = static_cast<std::uint32_t>(i);
+    out.tasks[i].name = ts[i].name;
+  }
+
+  // Per-task currently-open execution span.
+  std::vector<std::optional<Instant>> open(ts.size());
+  // Per-task currently-executing job index (for span attribution).
+  std::vector<std::int64_t> running_job(ts.size(), -1);
+
+  auto close_span = [&](std::size_t task, Instant at) {
+    if (!open[task]) return;
+    TaskTimeline& tl = out.tasks[task];
+    const std::int64_t job = running_job[task];
+    RTFT_ASSERT(job >= 0 &&
+                    static_cast<std::size_t>(job) < tl.jobs.size(),
+                "span closed for unknown job");
+    if (at > *open[task]) {
+      tl.jobs[static_cast<std::size_t>(job)].spans.push_back(
+          ExecutionSpan{*open[task], at});
+    }
+    open[task] = std::nullopt;
+    running_job[task] = -1;
+  };
+
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.task == kNoTask) continue;
+    RTFT_EXPECTS(e.task < ts.size(), "event references unknown task");
+    const auto t = static_cast<std::size_t>(e.task);
+    TaskTimeline& tl = out.tasks[t];
+    switch (e.kind) {
+      case EventKind::kJobRelease: {
+        JobRecord job;
+        job.index = e.job;
+        job.release = e.time;
+        job.deadline = e.time + ts[t].deadline;
+        RTFT_ASSERT(static_cast<std::size_t>(e.job) == tl.jobs.size(),
+                    "releases must arrive in order");
+        tl.jobs.push_back(std::move(job));
+        break;
+      }
+      case EventKind::kJobStart:
+      case EventKind::kJobResumed:
+        open[t] = e.time;
+        running_job[t] = e.job;
+        break;
+      case EventKind::kJobPreempted:
+        close_span(t, e.time);
+        break;
+      case EventKind::kJobEnd:
+        close_span(t, e.time);
+        tl.jobs[static_cast<std::size_t>(e.job)].end = e.time;
+        break;
+      case EventKind::kJobAborted:
+        close_span(t, e.time);
+        tl.jobs[static_cast<std::size_t>(e.job)].aborted_at = e.time;
+        break;
+      case EventKind::kDeadlineMiss:
+        tl.jobs[static_cast<std::size_t>(e.job)].missed = true;
+        break;
+      case EventKind::kTaskStopped:
+        tl.stopped_at = e.time;
+        break;
+      case EventKind::kDetectorFire:
+        tl.detector_fires.push_back(e.time);
+        break;
+      case EventKind::kFaultDetected:
+        tl.fault_detections.push_back(e.time);
+        break;
+      default:
+        break;
+    }
+  }
+  // Close any span still open at the horizon.
+  for (std::size_t t = 0; t < ts.size(); ++t) close_span(t, horizon);
+
+  // Idle = complement of the union of all execution spans.
+  std::vector<ExecutionSpan> all;
+  for (const TaskTimeline& tl : out.tasks) {
+    for (const JobRecord& j : tl.jobs) {
+      all.insert(all.end(), j.spans.begin(), j.spans.end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ExecutionSpan& a, const ExecutionSpan& b) {
+              return a.begin < b.begin;
+            });
+  Instant cursor = out.start;
+  for (const ExecutionSpan& s : all) {
+    if (s.begin > cursor) out.idle.push_back(ExecutionSpan{cursor, s.begin});
+    cursor = std::max(cursor, s.end);
+  }
+  if (cursor < horizon) out.idle.push_back(ExecutionSpan{cursor, horizon});
+  return out;
+}
+
+}  // namespace rtft::trace

@@ -1,0 +1,67 @@
+// Timeline reconstruction: turns the flat event stream of a run into
+// per-task job histories with execution spans — the data behind the
+// paper's time-series charts (§5) and the run statistics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/task.hpp"
+#include "trace/recorder.hpp"
+
+namespace rtft::trace {
+
+/// A maximal interval during which one job held the CPU.
+struct ExecutionSpan {
+  Instant begin;
+  Instant end;
+};
+
+/// History of one released job.
+struct JobRecord {
+  std::int64_t index = 0;
+  Instant release;
+  Instant deadline;                  ///< release + relative deadline.
+  std::optional<Instant> end;        ///< completion date, if it completed.
+  std::optional<Instant> aborted_at; ///< stop date, if it was aborted.
+  bool missed = false;               ///< a deadline-miss was recorded.
+  std::vector<ExecutionSpan> spans;  ///< CPU intervals, in time order.
+
+  /// Response time, when the job completed.
+  [[nodiscard]] std::optional<Duration> response() const {
+    if (!end) return std::nullopt;
+    return *end - release;
+  }
+};
+
+/// History of one task over the run.
+struct TaskTimeline {
+  std::uint32_t task = 0;
+  std::string name;
+  std::vector<JobRecord> jobs;             ///< by job index.
+  std::vector<Instant> detector_fires;     ///< the paper's ▲ marks.
+  std::vector<Instant> fault_detections;
+  std::optional<Instant> stopped_at;       ///< kTaskStopped date.
+};
+
+/// The whole run.
+struct SystemTimeline {
+  Instant start;                       ///< epoch of the run.
+  Instant end;                         ///< horizon.
+  std::vector<TaskTimeline> tasks;     ///< TaskId order.
+  /// CPU-idle intervals, derived as the complement of all execution
+  /// spans. Overhead injections (context switches, detector fire costs)
+  /// are not attributed to any task and appear as idle here.
+  std::vector<ExecutionSpan> idle;
+};
+
+/// Reconstructs the timeline of a run.
+///
+/// `ts` supplies names, deadlines and offsets (the recorder stores only
+/// task indices); `horizon` closes any span still open at the end.
+[[nodiscard]] SystemTimeline build_timeline(const sched::TaskSet& ts,
+                                            const Recorder& recorder,
+                                            Instant horizon);
+
+}  // namespace rtft::trace

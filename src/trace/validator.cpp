@@ -1,0 +1,153 @@
+#include "trace/validator.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rtft::trace {
+namespace {
+
+struct TaskState {
+  std::int64_t released = 0;        ///< next expected release index.
+  std::optional<Instant> last_release;
+  std::int64_t retired = 0;         ///< jobs with a terminal event.
+  bool in_flight = false;           ///< released > retired jobs exist.
+  bool running = false;
+  bool started_current = false;     ///< current job has run before.
+  std::int64_t current = -1;        ///< job index currently executing/preempted.
+  bool stopped = false;
+};
+
+}  // namespace
+
+ValidationResult validate_trace(const sched::TaskSet& ts,
+                                const Recorder& recorder) {
+  ValidationResult result;
+  std::vector<TaskState> state(ts.size());
+  constexpr std::size_t kNoOwner = static_cast<std::size_t>(-1);
+  std::size_t cpu_owner = kNoOwner;  // task currently executing
+  Instant prev = Instant::epoch();
+
+  const auto violate = [&](Instant time, std::string message) {
+    result.violations.push_back(Violation{time, std::move(message)});
+  };
+
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.time < prev) {
+      violate(e.time, "event dates go backwards");
+    }
+    prev = e.time;
+    if (e.task == kNoTask) continue;
+    if (e.task >= ts.size()) {
+      violate(e.time, "event references unknown task index " +
+                          std::to_string(e.task));
+      continue;
+    }
+    const auto t = static_cast<std::size_t>(e.task);
+    TaskState& s = state[t];
+    const std::string name = ts[t].name;
+
+    switch (e.kind) {
+      case EventKind::kJobRelease: {
+        if (e.job != s.released) {
+          violate(e.time, name + ": release of job " +
+                              std::to_string(e.job) + ", expected " +
+                              std::to_string(s.released));
+        }
+        if (s.last_release &&
+            e.time - *s.last_release != ts[t].period) {
+          violate(e.time, name + ": releases not period-spaced");
+        }
+        if (s.stopped) violate(e.time, name + ": release after stop");
+        s.last_release = e.time;
+        s.released++;
+        break;
+      }
+      case EventKind::kJobStart:
+      case EventKind::kJobResumed: {
+        const bool resume = e.kind == EventKind::kJobResumed;
+        if (e.job >= s.released) {
+          violate(e.time, name + ": job " + std::to_string(e.job) +
+                              " runs before its release");
+        }
+        if (resume != (s.current == e.job && s.started_current)) {
+          violate(e.time, name + ": start/resume kind mismatch for job " +
+                              std::to_string(e.job));
+        }
+        if (s.running) {
+          violate(e.time, name + ": started while already running");
+        }
+        if (cpu_owner != kNoOwner && cpu_owner != t) {
+          violate(e.time, name + ": CPU handed over without preempting '" +
+                              ts[cpu_owner].name + "'");
+        }
+        // Fixed-priority compliance: nobody strictly higher may have a
+        // released, unfinished job waiting (whether or not it has run
+        // yet). Stopped tasks are exempt — their skipped backlog never
+        // retires.
+        for (std::size_t o = 0; o < ts.size(); ++o) {
+          if (o == t || state[o].running || state[o].stopped) continue;
+          if (state[o].released <= state[o].retired) continue;
+          if (ts[o].priority > ts[t].priority) {
+            violate(e.time, name + ": dispatched while higher-priority '" +
+                                ts[o].name + "' is ready");
+          }
+        }
+        cpu_owner = t;
+        s.running = true;
+        s.started_current = true;
+        s.current = e.job;
+        break;
+      }
+      case EventKind::kJobPreempted: {
+        if (!s.running || s.current != e.job) {
+          violate(e.time, name + ": preempted while not running");
+        }
+        s.running = false;
+        if (cpu_owner == t) cpu_owner = kNoOwner;
+        break;
+      }
+      case EventKind::kJobEnd:
+      case EventKind::kJobAborted: {
+        const bool end = e.kind == EventKind::kJobEnd;
+        if (end && (!s.running || s.current != e.job)) {
+          violate(e.time, name + ": completion of a non-running job");
+        }
+        if (e.job >= s.released) {
+          violate(e.time,
+                  name + ": terminal event for unreleased job " +
+                      std::to_string(e.job));
+        }
+        if (s.running && s.current == e.job) {
+          s.running = false;
+          if (cpu_owner == t) cpu_owner = kNoOwner;
+        }
+        if (s.current == e.job) {
+          s.current = -1;
+          s.started_current = false;
+        }
+        s.retired++;
+        break;
+      }
+      case EventKind::kTaskStopped:
+        s.stopped = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return result;
+}
+
+std::string ValidationResult::summary() const {
+  if (ok()) return "trace ok";
+  std::ostringstream out;
+  out << violations.size() << " violation(s):\n";
+  for (const Violation& v : violations) {
+    out << "  " << to_string(v.time) << "  " << v.message << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rtft::trace

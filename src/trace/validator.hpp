@@ -1,0 +1,42 @@
+// Trace validation: structural and scheduling-theoretic checks over a
+// recorded run. Used by the property/stress test suites to certify every
+// execution the engine produces, and available to users as a debugging
+// aid for their own scenarios.
+//
+// Checks performed:
+//   * event dates are non-decreasing;
+//   * per task: releases are consecutive (job k then k+1) and
+//     period-spaced; every start/end/abort refers to a released job;
+//   * jobs of one task execute in job order and at most one terminal
+//     event (end/abort) each;
+//   * execution spans of *different tasks* never overlap (one CPU);
+//   * fixed-priority compliance: while a task executes, no strictly
+//     higher-priority task has a released, unfinished, unstarted-or-
+//     preempted job (modulo instantaneous event boundaries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/task.hpp"
+#include "trace/recorder.hpp"
+
+namespace rtft::trace {
+
+/// One validation finding.
+struct Violation {
+  Instant time;
+  std::string message;
+};
+
+struct ValidationResult {
+  std::vector<Violation> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Validates a recorded run against the task set that produced it.
+[[nodiscard]] ValidationResult validate_trace(const sched::TaskSet& ts,
+                                              const Recorder& recorder);
+
+}  // namespace rtft::trace

@@ -1,0 +1,215 @@
+#include "config/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+
+namespace rtft::cfg {
+namespace {
+
+using namespace rtft::literals;
+
+constexpr std::string_view kFigure5 = R"(
+# Figure 5 of the paper
+[system]
+policy = instant-stop
+horizon = 2000ms
+quantizer = 10ms nearest
+stop-mode = task
+
+[task tau1]
+priority = 20
+cost = 29ms
+period = 200ms
+deadline = 70ms
+
+[task tau2]
+priority = 18
+cost = 29ms
+period = 250ms
+deadline = 120ms
+
+[task tau3]
+priority = 16
+cost = 29ms
+period = 1500ms
+deadline = 120ms
+offset = 1000ms
+
+[fault]
+task = tau1
+job = 5
+overrun = 40ms
+)";
+
+TEST(ParseDuration, UnitsAndDecimals) {
+  Duration d;
+  ASSERT_TRUE(parse_duration("29ms", d));
+  EXPECT_EQ(d, 29_ms);
+  ASSERT_TRUE(parse_duration("1.5ms", d));
+  EXPECT_EQ(d, 1500_us);
+  ASSERT_TRUE(parse_duration("2s", d));
+  EXPECT_EQ(d, 2_s);
+  ASSERT_TRUE(parse_duration("250us", d));
+  EXPECT_EQ(d, 250_us);
+  ASSERT_TRUE(parse_duration("17ns", d));
+  EXPECT_EQ(d, 17_ns);
+  ASSERT_TRUE(parse_duration("0", d));
+  EXPECT_EQ(d, Duration::zero());
+  ASSERT_TRUE(parse_duration("-5ms", d));
+  EXPECT_EQ(d, Duration::ms(-5));
+}
+
+TEST(ParseDuration, RejectsMalformedInput) {
+  Duration d;
+  EXPECT_FALSE(parse_duration("", d));
+  EXPECT_FALSE(parse_duration("29", d));       // unit required
+  EXPECT_FALSE(parse_duration("ms", d));       // number required
+  EXPECT_FALSE(parse_duration("29 ms", d));    // no inner space
+  EXPECT_FALSE(parse_duration("29minutes", d));
+  EXPECT_FALSE(parse_duration("abcms", d));
+}
+
+TEST(DurationToConfigString, PicksLargestExactUnit) {
+  EXPECT_EQ(duration_to_config_string(2_s), "2s");
+  EXPECT_EQ(duration_to_config_string(29_ms), "29ms");
+  EXPECT_EQ(duration_to_config_string(1500_us), "1500us");
+  EXPECT_EQ(duration_to_config_string(17_ns), "17ns");
+  EXPECT_EQ(duration_to_config_string(Duration::zero()), "0");
+}
+
+TEST(ParseScenario, Figure5RoundsTrip) {
+  const Scenario s = parse_scenario(kFigure5, "figure5.rtft");
+  EXPECT_EQ(s.config.policy, core::TreatmentPolicy::kInstantStop);
+  EXPECT_EQ(s.config.horizon, 2000_ms);
+  EXPECT_EQ(s.config.detector.quantizer.resolution, 10_ms);
+  EXPECT_EQ(s.config.detector.quantizer.mode, rt::Rounding::kNearest);
+  EXPECT_EQ(s.config.stop_mode, rt::StopMode::kTask);
+  ASSERT_EQ(s.config.tasks.size(), 3u);
+  EXPECT_EQ(s.config.tasks[0].name, "tau1");
+  EXPECT_EQ(s.config.tasks[0].priority, 20);
+  EXPECT_EQ(s.config.tasks[2].offset, 1000_ms);
+  ASSERT_EQ(s.faults.faults().size(), 1u);
+  EXPECT_EQ(s.faults.faults()[0].task, "tau1");
+  EXPECT_EQ(s.faults.faults()[0].job_index, 5);
+  EXPECT_EQ(s.faults.faults()[0].extra_cost, 40_ms);
+
+  // The parsed scenario matches the canonical in-library construction.
+  const core::paper::Scenario canonical =
+      core::paper::figures_scenario(core::TreatmentPolicy::kInstantStop);
+  for (sched::TaskId i = 0; i < 3; ++i) {
+    EXPECT_EQ(s.config.tasks[i].cost, canonical.config.tasks[i].cost);
+    EXPECT_EQ(s.config.tasks[i].period, canonical.config.tasks[i].period);
+    EXPECT_EQ(s.config.tasks[i].deadline,
+              canonical.config.tasks[i].deadline);
+  }
+}
+
+TEST(ParseScenario, WriteParseIdentity) {
+  const Scenario original = parse_scenario(kFigure5);
+  const std::string text = write_scenario(original);
+  const Scenario reparsed = parse_scenario(text);
+  EXPECT_EQ(write_scenario(reparsed), text);
+  EXPECT_EQ(reparsed.config.tasks.size(), original.config.tasks.size());
+  EXPECT_EQ(reparsed.config.policy, original.config.policy);
+  EXPECT_EQ(reparsed.faults.faults().size(),
+            original.faults.faults().size());
+}
+
+TEST(ParseScenario, ImplicitDeadlineDefaultsToPeriod) {
+  const Scenario s = parse_scenario(R"(
+[task t]
+priority = 1
+cost = 1ms
+period = 10ms
+)");
+  EXPECT_EQ(s.config.tasks[0].deadline, 10_ms);
+}
+
+TEST(ParseScenario, ErrorsCarryLineNumbers) {
+  const auto expect_error_line = [](std::string_view text, int line) {
+    try {
+      (void)parse_scenario(text, "t.rtft");
+      FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+    }
+  };
+  expect_error_line("[system]\nbogus-key = 1\n", 2);
+  expect_error_line("[system\n", 1);
+  expect_error_line("key = value\n", 1);                       // no section
+  expect_error_line("[system]\npolicy = nonsense\n", 2);
+  expect_error_line("[system]\nhorizon = fast\n", 2);
+  expect_error_line("[task ]\n", 1);                           // no name
+  expect_error_line("[unknown]\n", 1);
+  // A missing mandatory field points at the section header.
+  expect_error_line("[task t]\npriority = 1\ncost = 1ms\n", 1);
+  expect_error_line("[system]\nquantizer = 10ms\n", 2);  // missing mode
+}
+
+TEST(ParseScenario, MissingFaultFieldsRejected) {
+  constexpr std::string_view base = R"(
+[task t]
+priority = 1
+cost = 1ms
+period = 10ms
+)";
+  EXPECT_THROW(
+      (void)parse_scenario(std::string(base) + "[fault]\ntask = t\n"),
+      ParseError);
+  EXPECT_THROW(
+      (void)parse_scenario(std::string(base) + "[fault]\njob = 1\n"),
+      ParseError);
+}
+
+TEST(ParseScenario, FaultOnUnknownTaskRejected) {
+  EXPECT_THROW((void)parse_scenario(R"(
+[task t]
+priority = 1
+cost = 1ms
+period = 10ms
+
+[fault]
+task = ghost
+job = 0
+overrun = 1ms
+)"),
+               ContractViolation);
+}
+
+TEST(ParseScenario, EmptyScenarioRejected) {
+  EXPECT_THROW((void)parse_scenario("# just a comment\n"), ParseError);
+}
+
+TEST(ParseScenario, SystemKnobsParsed) {
+  const Scenario s = parse_scenario(R"(
+[system]
+policy = system-allowance-sound
+stop-mode = job
+stop-poll-latency = 2ms
+context-switch-cost = 50us
+detector-fire-cost = 10us
+allowance-granularity = 1ms
+run-infeasible = true
+
+[task t]
+priority = 1
+cost = 1ms
+period = 10ms
+)");
+  EXPECT_EQ(s.config.policy, core::TreatmentPolicy::kSystemAllowanceSound);
+  EXPECT_EQ(s.config.stop_mode, rt::StopMode::kJob);
+  EXPECT_EQ(s.config.stop_poll_latency, 2_ms);
+  EXPECT_EQ(s.config.context_switch_cost, 50_us);
+  EXPECT_EQ(s.config.detector.fire_cost, 10_us);
+  EXPECT_EQ(s.config.allowance.granularity, 1_ms);
+  EXPECT_TRUE(s.config.run_infeasible);
+}
+
+TEST(LoadScenario, MissingFileThrows) {
+  EXPECT_THROW((void)load_scenario("/nonexistent/scenario.rtft"),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtft::cfg

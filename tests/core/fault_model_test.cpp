@@ -1,0 +1,68 @@
+#include "core/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+
+namespace rtft::core {
+namespace {
+
+using namespace rtft::literals;
+
+TEST(FaultPlan, EmptyPlanYieldsNoCostModel) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.cost_model_for(paper::table2_system(), 0));
+}
+
+TEST(FaultPlan, OverrunAppliesOnlyToTargetJob) {
+  FaultPlan plan;
+  plan.add_overrun("tau1", 5, 40_ms);
+  const auto model = plan.cost_model_for(paper::table2_system(), 0);
+  ASSERT_TRUE(model);
+  EXPECT_EQ(model(4), 29_ms);
+  EXPECT_EQ(model(5), 69_ms);
+  EXPECT_EQ(model(6), 29_ms);
+}
+
+TEST(FaultPlan, OtherTasksUnaffected) {
+  FaultPlan plan;
+  plan.add_overrun("tau1", 5, 40_ms);
+  EXPECT_FALSE(plan.cost_model_for(paper::table2_system(), 1));
+  EXPECT_FALSE(plan.cost_model_for(paper::table2_system(), 2));
+}
+
+TEST(FaultPlan, MultipleFaultsAccumulate) {
+  FaultPlan plan;
+  plan.add_overrun("tau1", 2, 10_ms);
+  plan.add_overrun("tau1", 2, 5_ms);
+  plan.add_overrun("tau1", 3, 1_ms);
+  const auto model = plan.cost_model_for(paper::table2_system(), 0);
+  EXPECT_EQ(model(2), 44_ms);
+  EXPECT_EQ(model(3), 30_ms);
+}
+
+TEST(FaultPlan, UnderrunSupportedAndFlooredAtOneNanosecond) {
+  FaultPlan plan;
+  plan.add_overrun("tau1", 0, Duration::ms(-10));  // cost 19 ms
+  plan.add_overrun("tau1", 1, Duration::ms(-100)); // would go negative
+  const auto model = plan.cost_model_for(paper::table2_system(), 0);
+  EXPECT_EQ(model(0), 19_ms);
+  EXPECT_EQ(model(1), 1_ns);
+}
+
+TEST(FaultPlan, ValidatesTaskNames) {
+  FaultPlan plan;
+  plan.add_overrun("ghost", 0, 1_ms);
+  EXPECT_THROW(plan.validate_against(paper::table2_system()),
+               ContractViolation);
+}
+
+TEST(FaultPlan, RejectsInvalidSpecs) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.add(FaultSpec{"", 0, 1_ms}), ContractViolation);
+  EXPECT_THROW(plan.add(FaultSpec{"t", -1, 1_ms}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtft::core

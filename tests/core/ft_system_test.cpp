@@ -1,0 +1,123 @@
+#include "core/ft_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+
+namespace rtft::core {
+namespace {
+
+using namespace rtft::literals;
+
+TEST(FtSystem, AdmissionControlRefusesInfeasibleSets) {
+  FtSystemConfig cfg;
+  cfg.tasks = paper::table1_system();  // infeasible (τ2 misses)
+  cfg.policy = TreatmentPolicy::kNoDetection;
+  FaultTolerantSystem sys(std::move(cfg));
+  const RunReport report = sys.run();
+  EXPECT_FALSE(report.admitted);
+  EXPECT_FALSE(report.executed);
+  EXPECT_THROW((void)sys.engine(), ContractViolation);
+}
+
+TEST(FtSystem, RunInfeasibleOverrideExecutesAnyway) {
+  FtSystemConfig cfg;
+  cfg.tasks = paper::table1_system();
+  cfg.policy = TreatmentPolicy::kNoDetection;
+  cfg.horizon = 12_ms;
+  cfg.run_infeasible = true;
+  FaultTolerantSystem sys(std::move(cfg));
+  const RunReport report = sys.run();
+  EXPECT_FALSE(report.admitted);
+  EXPECT_TRUE(report.executed);
+  // τ2 misses every deadline, as the analysis predicted.
+  EXPECT_GT(report.tasks[1].stats.missed, 0);
+}
+
+TEST(FtSystem, NominalRunIsCleanUnderEveryPolicy) {
+  for (TreatmentPolicy policy :
+       {TreatmentPolicy::kNoDetection, TreatmentPolicy::kDetectOnly,
+        TreatmentPolicy::kInstantStop, TreatmentPolicy::kEquitableAllowance,
+        TreatmentPolicy::kSystemAllowance}) {
+    FtSystemConfig cfg;
+    cfg.tasks = paper::table2_system();
+    cfg.policy = policy;
+    cfg.horizon = 3000_ms;  // one full hyperperiod
+    FaultTolerantSystem sys(std::move(cfg));
+    const RunReport report = sys.run();
+    ASSERT_TRUE(report.admitted);
+    EXPECT_EQ(report.total_misses(), 0) << to_string(policy);
+    for (const auto& t : report.tasks) {
+      EXPECT_FALSE(t.stats.stopped) << to_string(policy) << " " << t.name;
+      EXPECT_EQ(t.faults_detected, 0) << to_string(policy) << " " << t.name;
+    }
+  }
+}
+
+TEST(FtSystem, StopModeJobKeepsFaultyTaskAlive) {
+  paper::Scenario s = paper::figures_scenario(TreatmentPolicy::kInstantStop);
+  s.config.stop_mode = rt::StopMode::kJob;
+  FaultTolerantSystem sys(std::move(s.config), std::move(s.faults));
+  const RunReport report = sys.run();
+  ASSERT_TRUE(report.executed);
+  EXPECT_FALSE(report.tasks[0].stats.stopped);
+  EXPECT_EQ(report.tasks[0].stats.aborted, 1);
+  // τ1 keeps releasing jobs after the aborted one: 0..5 plus 1200, 1400,
+  // 1600, 1800, 2000.
+  EXPECT_EQ(report.tasks[0].stats.released, 11);
+}
+
+TEST(FtSystem, StopPollLatencyShiftsTheStop) {
+  paper::Scenario s = paper::figures_scenario(TreatmentPolicy::kInstantStop);
+  s.config.stop_poll_latency = 3_ms;  // §4.1's "a few milliseconds"
+  FaultTolerantSystem sys(std::move(s.config), std::move(s.faults));
+  const RunReport report = sys.run();
+  ASSERT_TRUE(report.executed);
+  Instant abort = Instant::never();
+  for (const auto& e : sys.recorder().events()) {
+    if (e.kind == trace::EventKind::kJobAborted && e.task == 0) {
+      abort = e.time;
+    }
+  }
+  EXPECT_EQ(abort, Instant::epoch() + 1033_ms);  // 1030 + 3
+}
+
+TEST(FtSystem, FaultOnUnknownTaskRejectedAtConstruction) {
+  FtSystemConfig cfg;
+  cfg.tasks = paper::table2_system();
+  FaultPlan faults;
+  faults.add_overrun("ghost", 0, 1_ms);
+  EXPECT_THROW(FaultTolerantSystem(std::move(cfg), std::move(faults)),
+               ContractViolation);
+}
+
+TEST(FtSystem, RunsExactlyOnce) {
+  FtSystemConfig cfg;
+  cfg.tasks = paper::table2_system();
+  cfg.horizon = 100_ms;
+  FaultTolerantSystem sys(std::move(cfg));
+  (void)sys.run();
+  EXPECT_THROW((void)sys.run(), ContractViolation);
+}
+
+TEST(FtSystem, EmptyTaskSetRejected) {
+  FtSystemConfig cfg;
+  EXPECT_THROW(FaultTolerantSystem{std::move(cfg)}, ContractViolation);
+}
+
+TEST(FtSystem, DetectorOverheadAblation) {
+  // §6.2: "the more tasks in the system, the more sensors, hence the
+  // higher the influence of this overrun". A small fire cost must not
+  // break the nominal Table 2 system (its slack absorbs it).
+  FtSystemConfig cfg;
+  cfg.tasks = paper::table2_system();
+  cfg.policy = TreatmentPolicy::kDetectOnly;
+  cfg.horizon = 3000_ms;
+  cfg.detector.fire_cost = 500_us;
+  FaultTolerantSystem sys(std::move(cfg));
+  const RunReport report = sys.run();
+  EXPECT_EQ(report.total_misses(), 0);
+}
+
+}  // namespace
+}  // namespace rtft::core

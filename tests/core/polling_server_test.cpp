@@ -1,0 +1,190 @@
+#include "core/polling_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "sched/aperiodic.hpp"
+#include "sched/feasibility.hpp"
+#include "sched/response_time.hpp"
+
+namespace rtft::core {
+namespace {
+
+using namespace rtft::literals;
+
+rt::EngineOptions horizon_opts(Duration h) {
+  rt::EngineOptions o;
+  o.horizon = Instant::epoch() + h;
+  return o;
+}
+
+/// A server with 10 ms budget every 50 ms at top priority.
+sched::TaskParams server_params() {
+  return sched::TaskParams{"server", 30, 10_ms, 50_ms, 50_ms,
+                           Duration::zero()};
+}
+
+TEST(AperiodicBounds, PollingServerResponseBound) {
+  // cost 25, budget 10, period 50, server WCRT 10:
+  // ceil(25/10) = 3 polls -> 3*50 + 10 = 160.
+  EXPECT_EQ(
+      sched::polling_server_response_bound(25_ms, 10_ms, 50_ms, 10_ms),
+      160_ms);
+  // A job no larger than one budget needs one poll.
+  EXPECT_EQ(sched::polling_server_response_bound(10_ms, 10_ms, 50_ms, 10_ms),
+            60_ms);
+  EXPECT_EQ(sched::polling_server_response_bound(1_ns, 10_ms, 50_ms, 10_ms),
+            60_ms);
+}
+
+TEST(AperiodicBounds, MaxCostWithinDeadlineInvertsTheBound) {
+  const Duration cs = 10_ms;
+  const Duration ts = 50_ms;
+  const Duration wcrt = 10_ms;
+  const Duration max160 = sched::max_aperiodic_cost_within(160_ms, cs, ts, wcrt);
+  EXPECT_EQ(max160, 30_ms);  // 3 polls fit: 3*50+10 = 160
+  EXPECT_LE(sched::polling_server_response_bound(max160, cs, ts, wcrt),
+            160_ms);
+  // One more nanosecond of cost needs a fourth poll and busts 160.
+  EXPECT_GT(sched::polling_server_response_bound(max160 + 1_ns, cs, ts, wcrt),
+            160_ms);
+  // Deadlines too short for even one poll return zero.
+  EXPECT_EQ(sched::max_aperiodic_cost_within(60_ms, cs, ts, wcrt),
+            Duration::zero());
+}
+
+TEST(PollingServer, SmallJobServedAtFirstPoll) {
+  rt::Engine eng(horizon_opts(300_ms));
+  PollingServer server(eng, server_params());
+  const AperiodicId id = server.submit("req", 8_ms);
+  eng.run();
+  const AperiodicJobReport& r = server.report(id);
+  ASSERT_TRUE(r.completion.has_value());
+  // Arrives at 0, first poll at 0 serves 8 ms: done at 8 ms.
+  EXPECT_EQ(*r.completion, Instant::epoch() + 8_ms);
+  EXPECT_EQ(server.completed(), 1u);
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(PollingServer, LargeJobSpansMultiplePolls) {
+  rt::Engine eng(horizon_opts(300_ms));
+  PollingServer server(eng, server_params());
+  const AperiodicId id = server.submit("big", 25_ms);
+  eng.run();
+  const AperiodicJobReport& r = server.report(id);
+  ASSERT_TRUE(r.completion.has_value());
+  // Polls at 0 (10), 50 (10), 100 (5): completes at 105 ms.
+  EXPECT_EQ(*r.completion, Instant::epoch() + 105_ms);
+  // Well within the analysis bound.
+  EXPECT_LE(*r.response(), sched::polling_server_response_bound(
+                               25_ms, 10_ms, 50_ms, 10_ms));
+}
+
+TEST(PollingServer, FifoAcrossJobs) {
+  rt::Engine eng(horizon_opts(400_ms));
+  PollingServer server(eng, server_params());
+  const AperiodicId a = server.submit("a", 15_ms);
+  const AperiodicId b = server.submit("b", 5_ms);
+  eng.run();
+  // a: polls at 0 (10 ms) + 50 (its last 5 ms); b: the remaining 5 ms of
+  // the same poll. Completions are attributed at the server-job end, so
+  // both bear the date 60 ms — FIFO order shows in the id sequence and
+  // never inverts the dates.
+  EXPECT_EQ(*server.report(a).completion, Instant::epoch() + 60_ms);
+  EXPECT_EQ(*server.report(b).completion, Instant::epoch() + 60_ms);
+  EXPECT_LE(*server.report(a).completion, *server.report(b).completion);
+
+  // With a third job that cannot fit in the same poll, strict ordering
+  // across polls is visible.
+  rt::Engine eng2(horizon_opts(400_ms));
+  PollingServer server2(eng2, server_params());
+  const AperiodicId c = server2.submit("c", 12_ms);
+  const AperiodicId d = server2.submit("d", 12_ms);
+  eng2.run();
+  // c: 0(10) + 50(2) -> 52...60 window; d: 50(8) + 100(4) -> 104 window.
+  EXPECT_LT(*server2.report(c).completion, *server2.report(d).completion);
+}
+
+TEST(PollingServer, ArrivalAfterPollWaitsForNextPeriod) {
+  rt::Engine eng(horizon_opts(300_ms));
+  PollingServer server(eng, server_params());
+  AperiodicId id = 0;
+  eng.add_one_shot_timer(Instant::epoch() + 20_ms, [&](rt::Engine&) {
+    id = server.submit("late", 6_ms);
+  });
+  eng.run();
+  // Poll at 0 found nothing; job arrives at 20; next poll at 50 serves
+  // it: completion 56 ms, response 36 ms <= bound 60.
+  const AperiodicJobReport& r = server.report(id);
+  ASSERT_TRUE(r.completion.has_value());
+  EXPECT_EQ(*r.completion, Instant::epoch() + 56_ms);
+  EXPECT_LE(*r.response(),
+            sched::polling_server_response_bound(6_ms, 10_ms, 50_ms, 10_ms));
+}
+
+TEST(PollingServer, EmptyPollsConsumeNothingVisible) {
+  // A lower-priority periodic task sees an idle server as free CPU.
+  rt::Engine eng(horizon_opts(200_ms));
+  PollingServer server(eng, server_params());
+  const rt::TaskHandle other = eng.add_task(
+      sched::TaskParams{"work", 10, 30_ms, 100_ms, 100_ms, 0_ms});
+  eng.run();
+  // The 1 ns poll stubs are invisible at ms scale.
+  EXPECT_EQ(eng.stats(other).missed, 0);
+  EXPECT_EQ(eng.stats(other).max_response, Duration::ns(30'000'001));
+}
+
+TEST(PollingServer, DeadlineMissRecordedForSoftDeadlines) {
+  rt::Engine eng(horizon_opts(400_ms));
+  PollingServer server(eng, server_params());
+  // 25 ms of work cannot finish within 70 ms (bound 160) if another job
+  // is already queued ahead of it.
+  const AperiodicId first = server.submit("first", 20_ms);
+  const AperiodicId tight = server.submit("tight", 15_ms, 70_ms);
+  eng.run();
+  EXPECT_FALSE(server.report(first).deadline_missed);  // no deadline given
+  ASSERT_TRUE(server.report(tight).completion.has_value());
+  // first: 0(10)+50(10)=done 60; tight: 100(10)+150(5)=done 155 > 70.
+  EXPECT_TRUE(server.report(tight).deadline_missed);
+}
+
+TEST(PollingServer, ServerAdmitsLikeAPeriodicTask) {
+  // The server participates in admission control as a plain task.
+  sched::TaskSet ts;
+  ts.add(server_params());
+  ts.add(sched::TaskParams{"work", 10, 30_ms, 100_ms, 100_ms, 0_ms});
+  const sched::FeasibilityReport report = sched::analyze(ts);
+  EXPECT_TRUE(report.feasible);
+  // Server WCRT = its budget (top priority).
+  EXPECT_EQ(report.tasks[0].wcrt, 10_ms);
+}
+
+TEST(PollingServer, DetectorWatchesTheServer) {
+  // A WCRT-overrun detector on the server task: with only small
+  // aperiodic jobs the server never overruns its 10 ms WCRT.
+  rt::Engine eng(horizon_opts(500_ms));
+  PollingServer server(eng, server_params());
+  DetectorConfig cfg;
+  cfg.quantizer.mode = rt::Rounding::kNone;
+  DetectorBank bank(eng, {server.task()}, {10_ms}, cfg, {});
+  for (int i = 0; i < 4; ++i) {
+    eng.add_one_shot_timer(Instant::epoch() + Duration::ms(30 * (i + 1)),
+                           [&](rt::Engine&) {
+                             server.submit("j", 4_ms);
+                           });
+  }
+  eng.run();
+  EXPECT_EQ(bank.total_faults(), 0);
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(PollingServer, RejectsNonPositiveCost) {
+  rt::Engine eng(horizon_opts(100_ms));
+  PollingServer server(eng, server_params());
+  EXPECT_THROW((void)server.submit("bad", Duration::zero()),
+               ContractViolation);
+  EXPECT_THROW((void)server.report(99), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtft::core

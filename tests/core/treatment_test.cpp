@@ -1,0 +1,83 @@
+#include "core/treatment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+
+namespace rtft::core {
+namespace {
+
+using namespace rtft::literals;
+
+TEST(PolicyNames, RoundTrip) {
+  for (TreatmentPolicy p :
+       {TreatmentPolicy::kNoDetection, TreatmentPolicy::kDetectOnly,
+        TreatmentPolicy::kInstantStop, TreatmentPolicy::kEquitableAllowance,
+        TreatmentPolicy::kSystemAllowance}) {
+    EXPECT_EQ(treatment_policy_from_string(to_string(p)), p);
+  }
+  EXPECT_THROW((void)treatment_policy_from_string("bogus"),
+               ContractViolation);
+}
+
+TEST(TreatmentPlan, NoDetectionInstallsNothing) {
+  const TreatmentPlan plan = make_treatment_plan(
+      paper::table2_system(), TreatmentPolicy::kNoDetection);
+  EXPECT_FALSE(plan.detects);
+  EXPECT_FALSE(plan.stops);
+  EXPECT_TRUE(plan.thresholds.empty());
+}
+
+TEST(TreatmentPlan, DetectOnlyUsesNominalWcrtsAndDoesNotStop) {
+  const TreatmentPlan plan = make_treatment_plan(
+      paper::table2_system(), TreatmentPolicy::kDetectOnly);
+  EXPECT_TRUE(plan.detects);
+  EXPECT_FALSE(plan.stops);
+  EXPECT_EQ(plan.thresholds, (std::vector<Duration>{29_ms, 58_ms, 87_ms}));
+}
+
+TEST(TreatmentPlan, InstantStopUsesNominalWcrts) {
+  const TreatmentPlan plan = make_treatment_plan(
+      paper::table2_system(), TreatmentPolicy::kInstantStop);
+  EXPECT_TRUE(plan.detects);
+  EXPECT_TRUE(plan.stops);
+  EXPECT_EQ(plan.thresholds, (std::vector<Duration>{29_ms, 58_ms, 87_ms}));
+  EXPECT_EQ(plan.allowance, Duration::zero());
+}
+
+TEST(TreatmentPlan, EquitableAllowanceMatchesTable3) {
+  const TreatmentPlan plan = make_treatment_plan(
+      paper::table2_system(), TreatmentPolicy::kEquitableAllowance);
+  EXPECT_EQ(plan.allowance, 11_ms);
+  EXPECT_EQ(plan.thresholds, (std::vector<Duration>{40_ms, 80_ms, 120_ms}));
+}
+
+TEST(TreatmentPlan, SystemAllowanceGrantsWholeBudget) {
+  const TreatmentPlan plan = make_treatment_plan(
+      paper::table2_system(), TreatmentPolicy::kSystemAllowance);
+  EXPECT_EQ(plan.allowance, 33_ms);
+  EXPECT_EQ(plan.thresholds, (std::vector<Duration>{62_ms, 91_ms, 120_ms}));
+}
+
+TEST(TreatmentPlan, NominalWcrtsAlwaysReported) {
+  for (TreatmentPolicy p :
+       {TreatmentPolicy::kDetectOnly, TreatmentPolicy::kInstantStop,
+        TreatmentPolicy::kEquitableAllowance,
+        TreatmentPolicy::kSystemAllowance}) {
+    const TreatmentPlan plan = make_treatment_plan(paper::table2_system(), p);
+    EXPECT_EQ(plan.nominal_wcrt,
+              (std::vector<Duration>{29_ms, 58_ms, 87_ms}));
+  }
+}
+
+TEST(TreatmentPlan, InfeasibleSetRejectedForThresholdPolicies) {
+  EXPECT_THROW((void)make_treatment_plan(paper::table1_system(),
+                                         TreatmentPolicy::kInstantStop),
+               ContractViolation);
+  // No thresholds needed: fine even for an infeasible set.
+  EXPECT_NO_THROW((void)make_treatment_plan(paper::table1_system(),
+                                            TreatmentPolicy::kNoDetection));
+}
+
+}  // namespace
+}  // namespace rtft::core

@@ -1,0 +1,87 @@
+// The shipped scenario files (scenarios/*.rtft) must load, match the
+// canonical in-library constructions, and reproduce the figures when run.
+#include <gtest/gtest.h>
+
+#include "config/scenario.hpp"
+#include "core/paper.hpp"
+
+#ifndef RTFT_SCENARIO_DIR
+#error "RTFT_SCENARIO_DIR must be defined by the build"
+#endif
+
+namespace rtft {
+namespace {
+
+using core::TreatmentPolicy;
+
+struct FileCase {
+  const char* file;
+  TreatmentPolicy policy;
+};
+
+class ScenarioFiles : public ::testing::TestWithParam<FileCase> {};
+
+TEST_P(ScenarioFiles, LoadsAndMatchesCanonicalScenario) {
+  const FileCase& fc = GetParam();
+  const cfg::Scenario loaded = cfg::load_scenario(
+      std::string(RTFT_SCENARIO_DIR) + "/" + fc.file);
+  const core::paper::Scenario canonical =
+      core::paper::figures_scenario(fc.policy);
+
+  EXPECT_EQ(loaded.config.policy, fc.policy);
+  EXPECT_EQ(loaded.config.horizon, core::paper::kFigureHorizon);
+  ASSERT_EQ(loaded.config.tasks.size(), canonical.config.tasks.size());
+  for (sched::TaskId i = 0; i < loaded.config.tasks.size(); ++i) {
+    const sched::TaskParams& a = loaded.config.tasks[i];
+    const sched::TaskParams& b = canonical.config.tasks[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.priority, b.priority);
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.period, b.period);
+    EXPECT_EQ(a.deadline, b.deadline);
+    EXPECT_EQ(a.offset, b.offset);
+  }
+  ASSERT_EQ(loaded.faults.faults().size(), 1u);
+  EXPECT_EQ(loaded.faults.faults()[0].task, "tau1");
+  EXPECT_EQ(loaded.faults.faults()[0].job_index,
+            core::paper::kFaultyJobIndex);
+  EXPECT_EQ(loaded.faults.faults()[0].extra_cost,
+            core::paper::kDefaultOverrun);
+}
+
+TEST_P(ScenarioFiles, RunsWithTheExpectedMissPattern) {
+  const FileCase& fc = GetParam();
+  cfg::Scenario loaded = cfg::load_scenario(
+      std::string(RTFT_SCENARIO_DIR) + "/" + fc.file);
+  core::FaultTolerantSystem sys(std::move(loaded.config),
+                                std::move(loaded.faults));
+  const core::RunReport report = sys.run();
+  ASSERT_TRUE(report.executed);
+  switch (fc.policy) {
+    case TreatmentPolicy::kNoDetection:
+    case TreatmentPolicy::kDetectOnly:
+      EXPECT_EQ(report.missing_tasks(), std::vector<std::string>{"tau3"});
+      break;
+    default:
+      EXPECT_EQ(report.missing_tasks(), std::vector<std::string>{"tau1"});
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFigures, ScenarioFiles,
+    ::testing::Values(
+        FileCase{"fig3_no_detection.rtft", TreatmentPolicy::kNoDetection},
+        FileCase{"fig4_detect_only.rtft", TreatmentPolicy::kDetectOnly},
+        FileCase{"fig5_instant_stop.rtft", TreatmentPolicy::kInstantStop},
+        FileCase{"fig6_equitable_allowance.rtft",
+                 TreatmentPolicy::kEquitableAllowance},
+        FileCase{"fig7_system_allowance.rtft",
+                 TreatmentPolicy::kSystemAllowance}),
+    [](const ::testing::TestParamInfo<FileCase>& param_info) {
+      std::string name(param_info.param.file);
+      return name.substr(0, name.find('_'));
+    });
+
+}  // namespace
+}  // namespace rtft

@@ -1,0 +1,64 @@
+#include "posix/tsc_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace rtft::posix {
+namespace {
+
+using namespace rtft::literals;
+
+TEST(TscClock, UsesTscOnX86) {
+#if defined(__x86_64__) || defined(__i386__)
+  EXPECT_TRUE(TscClock::uses_tsc());
+#else
+  EXPECT_FALSE(TscClock::uses_tsc());
+#endif
+}
+
+TEST(TscClock, RawIsMonotonicNonDecreasing) {
+  TscClock clock;
+  std::uint64_t prev = clock.raw();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t cur = clock.raw();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(TscClock, NowStartsNearZeroAndAdvances) {
+  TscClock clock;
+  const Instant t0 = clock.now();
+  EXPECT_LT(t0.since_epoch(), 10_ms);  // freshly constructed
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const Instant t1 = clock.now();
+  // Sleep granularity on a loaded machine is sloppy; just require the
+  // clock to have moved forward by an amount in the right ballpark.
+  EXPECT_GE(t1 - t0, 15_ms);
+  EXPECT_LT(t1 - t0, 2000_ms);
+}
+
+TEST(TscClock, CalibrationIsPlausible) {
+  TscClock clock;
+  if (TscClock::uses_tsc()) {
+    // Any remotely modern x86 runs between 0.4 and 10 GHz.
+    EXPECT_GT(clock.cycles_per_ns(), 0.1);
+    EXPECT_LT(clock.cycles_per_ns(), 20.0);
+  } else {
+    EXPECT_DOUBLE_EQ(clock.cycles_per_ns(), 1.0);
+  }
+}
+
+TEST(TscClock, ToDurationScalesRawDeltas) {
+  TscClock clock;
+  const auto one_ms_raw = static_cast<std::uint64_t>(
+      clock.cycles_per_ns() * 1e6);
+  const Duration d = clock.to_duration(one_ms_raw);
+  EXPECT_GE(d, Duration::us(900));
+  EXPECT_LE(d, Duration::us(1100));
+}
+
+}  // namespace
+}  // namespace rtft::posix

@@ -1,0 +1,173 @@
+// Tests of the RTSJ-flavoured veneer, written to read like the paper's
+// own usage: admit threads through addToFeasibility(), start() them
+// (which arms the WCRT-offset detectors), run the VM, inspect.
+#include "rtsj/realtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+
+namespace rtft::rtsj {
+namespace {
+
+using namespace rtft::literals;
+
+PeriodicParameters table2_release(Duration cost, Duration period,
+                                  Duration deadline,
+                                  Duration start = Duration::zero()) {
+  return PeriodicParameters(start, period, cost, deadline);
+}
+
+struct Table2Threads {
+  VirtualMachine vm{2000_ms};
+  RealtimeThreadExtended tau1{vm, "tau1", PriorityParameters(20),
+                              table2_release(29_ms, 200_ms, 70_ms)};
+  RealtimeThreadExtended tau2{vm, "tau2", PriorityParameters(18),
+                              table2_release(29_ms, 250_ms, 120_ms)};
+  RealtimeThreadExtended tau3{vm, "tau3", PriorityParameters(16),
+                              table2_release(29_ms, 1500_ms, 120_ms,
+                                             1000_ms)};
+};
+
+TEST(RtsjVeneer, PeriodicParametersDefaultDeadlineIsPeriod) {
+  const PeriodicParameters p(0_ms, 100_ms, 10_ms);
+  EXPECT_EQ(p.getDeadline(), 100_ms);
+}
+
+TEST(RtsjVeneer, AdmissionControlMirrorsThePaper) {
+  Table2Threads t;
+  EXPECT_TRUE(t.tau1.addToFeasibility());
+  EXPECT_TRUE(t.tau2.addToFeasibility());
+  EXPECT_TRUE(t.tau3.addToFeasibility());
+  // A hog that would break the set is refused.
+  RealtimeThread hog(t.vm, "hog", PriorityParameters(30),
+                     table2_release(40_ms, 100_ms, 100_ms));
+  EXPECT_FALSE(hog.addToFeasibility());
+  // Withdrawal works for un-started threads.
+  EXPECT_TRUE(t.tau3.removeFromFeasibility());
+  EXPECT_FALSE(t.vm.scheduler().task_set().contains("tau3"));
+}
+
+TEST(RtsjVeneer, StartArmsDetectorAtQuantizedWcrt) {
+  Table2Threads t;
+  ASSERT_TRUE(t.tau1.addToFeasibility());
+  ASSERT_TRUE(t.tau2.addToFeasibility());
+  ASSERT_TRUE(t.tau3.addToFeasibility());
+  t.tau1.start();
+  t.tau2.start();
+  t.tau3.start();
+  // §3.1 + §6.2: thresholds are the WCRTs, rounded to the 10 ms grid.
+  EXPECT_EQ(t.tau1.detectorThreshold(), 30_ms);
+  EXPECT_EQ(t.tau2.detectorThreshold(), 60_ms);
+  EXPECT_EQ(t.tau3.detectorThreshold(), 90_ms);
+}
+
+TEST(RtsjVeneer, NominalRunDetectsNothingAndHooksFire) {
+  // Subclass with the paper's computeBefore/AfterPeriodic hooks.
+  class CountingThread : public RealtimeThreadExtended {
+   public:
+    using RealtimeThreadExtended::RealtimeThreadExtended;
+    void computeBeforePeriodic(std::int64_t) override { ++begins; }
+    void computeAfterPeriodic(std::int64_t) override { ++ends; }
+    int begins = 0;
+    int ends = 0;
+  };
+  VirtualMachine vm(1000_ms);
+  CountingThread thread(vm, "t", PriorityParameters(10),
+                        table2_release(10_ms, 100_ms, 100_ms));
+  ASSERT_TRUE(thread.addToFeasibility());
+  thread.start();
+  vm.run();
+  EXPECT_EQ(thread.faultsDetected(), 0);
+  // Releases at 0, 100, ..., 1000: the job released exactly at the
+  // horizon begins but cannot end inside the window.
+  EXPECT_EQ(thread.begins, 11);
+  EXPECT_EQ(thread.ends, 10);
+  EXPECT_EQ(thread.getStats().missed, 0);
+}
+
+TEST(RtsjVeneer, Figure5ThroughThePaperApi) {
+  // The instant-stop experiment, written as the paper's Java would be:
+  // the fault handler interrupts the faulty thread.
+  Table2Threads t;
+  ASSERT_TRUE(t.tau1.addToFeasibility());
+  ASSERT_TRUE(t.tau2.addToFeasibility());
+  ASSERT_TRUE(t.tau3.addToFeasibility());
+
+  t.tau1.setCostModel([](std::int64_t job) {
+    return job == core::paper::kFaultyJobIndex ? 69_ms : 29_ms;
+  });
+  const auto stop_on_fault = [](RealtimeThreadExtended& self,
+                                std::int64_t) { self.interrupt(); };
+  t.tau1.setFaultHandler(stop_on_fault);
+  t.tau2.setFaultHandler(stop_on_fault);
+  t.tau3.setFaultHandler(stop_on_fault);
+
+  t.tau1.start();
+  t.tau2.start();
+  t.tau3.start();
+  t.vm.run();
+
+  // Figure 5's outcome: τ1 stopped at 1030 ms, only τ1 misses.
+  EXPECT_TRUE(t.tau1.getStats().stopped);
+  EXPECT_EQ(t.tau1.getStats().missed, 1);
+  EXPECT_EQ(t.tau1.faultsDetected(), 1);
+  EXPECT_EQ(t.tau2.getStats().missed, 0);
+  EXPECT_EQ(t.tau3.getStats().missed, 0);
+  EXPECT_FALSE(t.tau2.getStats().stopped);
+  EXPECT_FALSE(t.tau3.getStats().stopped);
+}
+
+TEST(RtsjVeneer, ExplicitThresholdAndExactTimers) {
+  VirtualMachine vm(500_ms);
+  RealtimeThreadExtended thread(vm, "t", PriorityParameters(10),
+                                table2_release(10_ms, 100_ms, 100_ms));
+  ASSERT_TRUE(thread.addToFeasibility());
+  core::DetectorConfig cfg;
+  cfg.quantizer.mode = rt::Rounding::kNone;
+  thread.setDetectorConfig(cfg);
+  thread.setDetectorThreshold(25_ms);
+  thread.setCostModel([](std::int64_t job) {
+    return job == 1 ? 40_ms : 10_ms;  // job 1 overruns past 25 ms
+  });
+  thread.start();
+  EXPECT_EQ(thread.detectorThreshold(), 25_ms);
+  vm.run();
+  EXPECT_EQ(thread.faultsDetected(), 1);
+}
+
+TEST(RtsjVeneer, UnadmittedStartFallsBackToDeadlineThreshold) {
+  VirtualMachine vm(300_ms);
+  RealtimeThreadExtended thread(vm, "t", PriorityParameters(10),
+                                table2_release(10_ms, 100_ms, 80_ms));
+  // No addToFeasibility(): the detector watches the deadline instead.
+  thread.start();
+  EXPECT_EQ(thread.detectorThreshold(), 80_ms);
+  vm.run();
+  EXPECT_EQ(thread.faultsDetected(), 0);
+}
+
+TEST(RtsjVeneer, ApiMisuseRejected) {
+  VirtualMachine vm(100_ms);
+  RealtimeThreadExtended thread(vm, "t", PriorityParameters(10),
+                                table2_release(10_ms, 50_ms, 50_ms));
+  EXPECT_THROW((void)thread.getStats(), ContractViolation);
+  EXPECT_THROW(thread.interrupt(), ContractViolation);
+  EXPECT_THROW((void)thread.faultsDetected(), ContractViolation);
+  thread.start();
+  EXPECT_THROW(thread.start(), ContractViolation);
+  EXPECT_THROW(thread.setCostModel({}), ContractViolation);
+  // Never admitted: withdrawing is a no-op, not an error.
+  EXPECT_FALSE(thread.removeFromFeasibility());
+
+  // An admitted *and started* thread cannot be withdrawn.
+  VirtualMachine vm2(100_ms);
+  RealtimeThread admitted(vm2, "a", PriorityParameters(10),
+                          table2_release(10_ms, 50_ms, 50_ms));
+  ASSERT_TRUE(admitted.addToFeasibility());
+  admitted.start();
+  EXPECT_THROW((void)admitted.removeFromFeasibility(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtft::rtsj

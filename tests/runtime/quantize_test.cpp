@@ -1,0 +1,67 @@
+#include "runtime/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace rtft::rt {
+namespace {
+
+using namespace rtft::literals;
+
+TEST(Quantizer, NoneIsIdentity) {
+  const Quantizer q{10_ms, Rounding::kNone};
+  EXPECT_EQ(q.apply(29_ms), 29_ms);
+  EXPECT_EQ(q.apply(Duration::zero()), Duration::zero());
+}
+
+TEST(Quantizer, PaperDetectorOffsets) {
+  // §6.2: WCRTs 29/58/87 ms observably became 30/60/90 ms.
+  const Quantizer q = jrate_quantizer();
+  EXPECT_EQ(q.apply(29_ms), 30_ms);
+  EXPECT_EQ(q.apply(58_ms), 60_ms);
+  EXPECT_EQ(q.apply(87_ms), 90_ms);
+}
+
+TEST(Quantizer, NearestTiesRoundUp) {
+  const Quantizer q{10_ms, Rounding::kNearest};
+  EXPECT_EQ(q.apply(65_ms), 70_ms);
+  EXPECT_EQ(q.apply(64_ms), 60_ms);
+  EXPECT_EQ(q.apply(62_ms), 60_ms);  // Figure 7's threshold 62 -> 60
+  EXPECT_EQ(q.apply(91_ms), 90_ms);
+  EXPECT_EQ(q.apply(120_ms), 120_ms);  // exact multiples unchanged
+}
+
+TEST(Quantizer, UpNeverEarly) {
+  const Quantizer q{10_ms, Rounding::kUp};
+  EXPECT_EQ(q.apply(61_ms), 70_ms);
+  EXPECT_EQ(q.apply(60_ms), 60_ms);
+  EXPECT_EQ(q.apply(1_ns), 10_ms);
+}
+
+TEST(Quantizer, DownNeverLate) {
+  const Quantizer q{10_ms, Rounding::kDown};
+  EXPECT_EQ(q.apply(69_ms), 60_ms);
+  EXPECT_EQ(q.apply(60_ms), 60_ms);
+  EXPECT_EQ(q.apply(9_ms), Duration::zero());
+}
+
+TEST(Quantizer, NegativeClampsToZero) {
+  const Quantizer q{10_ms, Rounding::kNearest};
+  EXPECT_EQ(q.apply(Duration::ms(-5)), Duration::zero());
+}
+
+TEST(Quantizer, InvalidResolutionThrows) {
+  const Quantizer q{Duration::zero(), Rounding::kNearest};
+  EXPECT_THROW((void)q.apply(1_ms), ContractViolation);
+}
+
+TEST(Quantizer, FineResolution) {
+  const Quantizer q{1_ms, Rounding::kNearest};
+  EXPECT_EQ(q.apply(29_ms), 29_ms);
+  EXPECT_EQ(q.apply(Duration::us(29'400)), 29_ms);
+  EXPECT_EQ(q.apply(Duration::us(29'500)), 30_ms);
+}
+
+}  // namespace
+}  // namespace rtft::rt

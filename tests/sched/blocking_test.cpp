@@ -1,0 +1,126 @@
+#include "sched/blocking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/paper_systems.hpp"
+
+namespace rtft::sched {
+namespace {
+
+using rtft::testsupport::table2_system;
+using namespace rtft::literals;
+
+/// Table 2 system with a shared resource: tau1 and tau3 lock "bus"
+/// (tau3 for 8 ms — the classic priority-inversion shape PCP bounds).
+ResourceModel bus_model() {
+  ResourceModel m;
+  m.add("tau1", "bus", 3_ms);
+  m.add("tau3", "bus", 8_ms);
+  return m;
+}
+
+TEST(ResourceModel, CeilingIsMaxUserPriority) {
+  const TaskSet ts = table2_system();
+  const ResourceModel m = bus_model();
+  ASSERT_TRUE(m.ceiling(ts, "bus").has_value());
+  EXPECT_EQ(*m.ceiling(ts, "bus"), 20);  // tau1's priority
+  EXPECT_FALSE(m.ceiling(ts, "unused").has_value());
+}
+
+TEST(ResourceModel, BlockingTermsFollowPcp) {
+  const TaskSet ts = table2_system();
+  const ResourceModel m = bus_model();
+  // tau1 (P20): blocked by tau3's 8 ms section (ceiling 20 >= 20).
+  EXPECT_EQ(m.blocking_term(ts, 0), 8_ms);
+  // tau2 (P18): does not use the bus, but the ceiling (20) is above its
+  // priority and tau3 is lower: classic ceiling blocking, 8 ms.
+  EXPECT_EQ(m.blocking_term(ts, 1), 8_ms);
+  // tau3 (P16): lowest priority — nobody below to block it.
+  EXPECT_EQ(m.blocking_term(ts, 2), Duration::zero());
+}
+
+TEST(ResourceModel, HigherPrioritySectionsNeverBlock) {
+  const TaskSet ts = table2_system();
+  ResourceModel m;
+  m.add("tau1", "bus", 5_ms);  // highest-priority task only
+  EXPECT_EQ(m.blocking_term(ts, 1), Duration::zero());
+  EXPECT_EQ(m.blocking_term(ts, 2), Duration::zero());
+}
+
+TEST(ResourceModel, CeilingBelowTaskMeansNoContention) {
+  const TaskSet ts = table2_system();
+  ResourceModel m;
+  m.add("tau2", "log", 4_ms);
+  m.add("tau3", "log", 6_ms);
+  // ceiling(log) = 18 < 20: tau1 never touches it.
+  EXPECT_EQ(m.blocking_term(ts, 0), Duration::zero());
+  // tau2 can be blocked by tau3's 6 ms section.
+  EXPECT_EQ(m.blocking_term(ts, 1), 6_ms);
+}
+
+TEST(BlockingRta, AddsBlockingOnce) {
+  const TaskSet ts = table2_system();
+  const ResourceModel m = bus_model();
+  // tau1: 29 + 8 = 37; tau2: (29+8) + 29 = 66; tau3: 87 + 0 = 87.
+  const BlockingVerdict v1 = response_time_with_blocking(ts, 0, m);
+  const BlockingVerdict v2 = response_time_with_blocking(ts, 1, m);
+  const BlockingVerdict v3 = response_time_with_blocking(ts, 2, m);
+  EXPECT_EQ(v1.wcrt, 37_ms);
+  EXPECT_EQ(v2.wcrt, 66_ms);
+  EXPECT_EQ(v3.wcrt, 87_ms);
+  EXPECT_TRUE(v1.meets_deadline && v2.meets_deadline && v3.meets_deadline);
+}
+
+TEST(BlockingRta, ReportAggregatesFeasibility) {
+  const BlockingReport ok = analyze_with_blocking(table2_system(),
+                                                  bus_model());
+  EXPECT_TRUE(ok.feasible);
+  // A 45 ms critical section of tau3 pushes tau1 past its 70 ms deadline
+  // (29 + 45 = 74).
+  ResourceModel heavy;
+  heavy.add("tau1", "bus", 1_ms);
+  heavy.add("tau3", "bus", 45_ms);
+  const BlockingReport bad = analyze_with_blocking(table2_system(), heavy);
+  EXPECT_FALSE(bad.feasible);
+  EXPECT_FALSE(bad.tasks[0].meets_deadline);
+}
+
+TEST(BlockingAllowance, ShrinksByTheBlockingInflation) {
+  const TaskSet ts = table2_system();
+  // Without blocking the equitable allowance is 11 ms; with the bus
+  // model, tau3's constraint (3·(29+A) <= 120) is unchanged (B3 = 0) but
+  // tau1 (29+A+8 <= 70) and tau2 (2·(29+A)+8 <= 120) tighten.
+  const Duration a = equitable_allowance_with_blocking(ts, bus_model());
+  // Constraints: tau1 A <= 33; tau2 A <= 27; tau3 A <= 11 -> A = 11 still.
+  EXPECT_EQ(a, 11_ms);
+
+  // Make blocking bite: a 30 ms section under tau3 leaves tau1 only
+  // 70 - 29 - 30 = 11, tau2: 120 - 58 - 30 = 32 over two jobs -> 16,
+  // tau3 unchanged (11): A = 11 still... use tau2's resource instead.
+  ResourceModel tight;
+  tight.add("tau1", "bus", 1_ms);
+  tight.add("tau2", "bus", 36_ms);
+  // tau1: 29 + A + 36 <= 70 -> A <= 5.
+  const Duration a2 = equitable_allowance_with_blocking(ts, tight);
+  EXPECT_EQ(a2, 5_ms);
+}
+
+TEST(BlockingAllowance, InfeasibleBaseGivesZero) {
+  ResourceModel heavy;
+  heavy.add("tau1", "bus", 1_ms);
+  heavy.add("tau3", "bus", 45_ms);
+  EXPECT_EQ(equitable_allowance_with_blocking(table2_system(), heavy),
+            Duration::zero());
+}
+
+TEST(ResourceModel, ValidationAndInvariants) {
+  ResourceModel m;
+  EXPECT_THROW(m.add("", "bus", 1_ms), ContractViolation);
+  EXPECT_THROW(m.add("t", "", 1_ms), ContractViolation);
+  EXPECT_THROW(m.add("t", "bus", Duration::zero()), ContractViolation);
+  m.add("ghost", "bus", 1_ms);
+  EXPECT_THROW(m.validate_against(table2_system()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtft::sched

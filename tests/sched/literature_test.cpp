@@ -1,0 +1,104 @@
+// Textbook/literature task sets with published worst-case response
+// times — independent validation vectors for the analysis (and, for the
+// arbitrary-deadline case, for the engine's backlog semantics).
+#include <gtest/gtest.h>
+
+#include "runtime/engine.hpp"
+#include "sched/response_time.hpp"
+#include "sched/utilization.hpp"
+
+namespace rtft::sched {
+namespace {
+
+using namespace rtft::literals;
+
+TEST(Literature, BurnsWellingsClassicTriple) {
+  // Burns & Wellings, "Real-Time Systems and Programming Languages":
+  // a(C12 T52), b(C10 T40), c(C10 T30), RM priorities.
+  // Published responses: R_c = 10, R_b = 20, R_a = 52.
+  TaskSet ts;
+  ts.add(TaskParams{"a", 1, 12_ms, 52_ms, 52_ms, 0_ms});
+  ts.add(TaskParams{"b", 2, 10_ms, 40_ms, 40_ms, 0_ms});
+  ts.add(TaskParams{"c", 3, 10_ms, 30_ms, 30_ms, 0_ms});
+  EXPECT_EQ(response_time(ts, 2).wcrt, 10_ms);
+  EXPECT_EQ(response_time(ts, 1).wcrt, 20_ms);
+  EXPECT_EQ(response_time(ts, 0).wcrt, 52_ms);  // exactly its period
+}
+
+TEST(Literature, LiuLayland1973Example) {
+  // Liu & Layland's running example: τ1(C20 T100), τ2(C40 T150),
+  // τ3(C100 T350) under RM. Responses: 20, 60, 240.
+  TaskSet ts;
+  ts.add(TaskParams{"t1", 3, 20_ms, 100_ms, 100_ms, 0_ms});
+  ts.add(TaskParams{"t2", 2, 40_ms, 150_ms, 150_ms, 0_ms});
+  ts.add(TaskParams{"t3", 1, 100_ms, 350_ms, 350_ms, 0_ms});
+  EXPECT_EQ(response_time(ts, 0).wcrt, 20_ms);
+  EXPECT_EQ(response_time(ts, 1).wcrt, 60_ms);
+  EXPECT_EQ(response_time(ts, 2).wcrt, 240_ms);
+  EXPECT_EQ(load_test(ts), LoadVerdict::kBelowOne);  // U ≈ 0.753
+}
+
+TEST(Literature, Lehoczky1990ArbitraryDeadlineExample) {
+  // Lehoczky's arbitrary-deadline example: τ1(C26 T70), τ2(C62 T100),
+  // U = 0.9914. τ2's level-2 busy period spans seven jobs with
+  // responses 114, 102, 116, 104, 118, 106, 94 — the worst (118) at the
+  // FIFTH job, far from the critical instant.
+  TaskSet ts;
+  ts.add(TaskParams{"t1", 2, 26_ms, 70_ms, 70_ms, 0_ms});
+  ts.add(TaskParams{"t2", 1, 62_ms, 100_ms, 120_ms, 0_ms});
+  RtaOptions opts;
+  opts.record_jobs = true;
+  const RtaResult r = response_time(ts, 1, opts);
+  ASSERT_TRUE(r.bounded);
+  const std::vector<Duration> expected{114_ms, 102_ms, 116_ms, 104_ms,
+                                       118_ms, 106_ms, 94_ms};
+  ASSERT_EQ(r.jobs.size(), expected.size());
+  for (std::size_t q = 0; q < expected.size(); ++q) {
+    EXPECT_EQ(r.jobs[q].response, expected[q]) << "job " << q;
+  }
+  EXPECT_EQ(r.wcrt, 118_ms);
+  EXPECT_EQ(r.worst_job, 4);
+}
+
+TEST(Literature, Lehoczky1990ExampleSimulatesIdentically) {
+  // The engine's backlogged-release semantics must reproduce the same
+  // seven responses over one hyperperiod (lcm(70,100) = 700 ms).
+  TaskSet ts;
+  ts.add(TaskParams{"t1", 2, 26_ms, 70_ms, 70_ms, 0_ms});
+  ts.add(TaskParams{"t2", 1, 62_ms, 100_ms, 120_ms, 0_ms});
+
+  rt::EngineOptions opts;
+  opts.horizon = Instant::epoch() + 700_ms;
+  rt::Engine eng(opts);
+  eng.add_task(ts[0]);
+  const rt::TaskHandle t2 = eng.add_task(ts[1]);
+  eng.run();
+
+  std::vector<Duration> simulated;
+  for (const auto& e : eng.recorder().events()) {
+    if (e.kind == trace::EventKind::kJobEnd &&
+        e.task == static_cast<std::uint32_t>(t2)) {
+      simulated.push_back(Duration::ns(e.detail));
+    }
+  }
+  const std::vector<Duration> expected{114_ms, 102_ms, 116_ms, 104_ms,
+                                       118_ms, 106_ms, 94_ms};
+  ASSERT_EQ(simulated, expected);
+}
+
+TEST(Literature, RateMonotonicBoundaryPair) {
+  // The classic RM worst case for two tasks: C1/T1 = C2/T2 with
+  // U = 2(√2−1): τ1(C29 T70), τ2(C41 T100) has U ≈ 0.8243, right at the
+  // Liu&Layland bound — and indeed exactly schedulable.
+  TaskSet ts;
+  ts.add(TaskParams{"t1", 2, 29_ms, 70_ms, 70_ms, 0_ms});
+  ts.add(TaskParams{"t2", 1, 41_ms, 100_ms, 100_ms, 0_ms});
+  const RtaResult r = response_time(ts, 1);
+  ASSERT_TRUE(r.bounded);
+  // R = 41 + 29 = 70: τ2 completes exactly as τ1's second job releases —
+  // the defining knife-edge of the RM boundary pair.
+  EXPECT_EQ(r.wcrt, 70_ms);
+}
+
+}  // namespace
+}  // namespace rtft::sched

@@ -1,0 +1,136 @@
+#include "sched/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "sched/feasibility.hpp"
+#include "support/paper_systems.hpp"
+#include "support/random_sets.hpp"
+
+namespace rtft::sched {
+namespace {
+
+using rtft::testsupport::make_random_task_set;
+using rtft::testsupport::table2_system;
+using namespace rtft::literals;
+
+std::vector<Duration> no_jitter(std::size_t n) {
+  return std::vector<Duration>(n, Duration::zero());
+}
+
+TEST(JitterRta, ZeroJitterEqualsClassicAnalysis) {
+  const TaskSet ts = table2_system();
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    const auto with = response_time_with_jitter(ts, i, no_jitter(3));
+    const auto classic = classic_response_time(ts, i);
+    ASSERT_TRUE(with && classic);
+    EXPECT_EQ(*with, *classic);
+  }
+}
+
+TEST(JitterRta, OwnJitterAddsDirectly) {
+  const TaskSet ts = table2_system();
+  std::vector<Duration> jitters = no_jitter(3);
+  jitters[2] = 7_ms;  // τ3's releases wobble by up to 7 ms
+  const auto r = response_time_with_jitter(ts, 2, jitters);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 87_ms + 7_ms);
+}
+
+TEST(JitterRta, InterfererJitterCanPullInExtraHits) {
+  // τ1 jitter of 10 ms: τ2's window sees ceil((R+10)/200) τ1 jobs.
+  // R = 29 + 29 = 58 still (58+10 < 200): unchanged here...
+  const TaskSet ts = table2_system();
+  std::vector<Duration> jitters = no_jitter(3);
+  jitters[0] = 10_ms;
+  EXPECT_EQ(*response_time_with_jitter(ts, 1, jitters), 58_ms);
+  // ...but a jitter that spans the gap to τ1's next release does bite:
+  // with J1 = 145, R = 58 -> ceil((58+145)/200) = 2 hits -> 87;
+  // ceil((87+145)/200) = 2 -> stable 87.
+  jitters[0] = 145_ms;
+  EXPECT_EQ(*response_time_with_jitter(ts, 1, jitters), 87_ms);
+}
+
+TEST(JitterRta, TimerGridAsJitterKeepsPaperSystemFeasible) {
+  // §6.2's 10 ms grid, pessimistically modelled as 10 ms of release
+  // jitter on everyone: the Table 2 system still holds.
+  const TaskSet ts = table2_system();
+  const std::vector<Duration> jitters(3, 10_ms);
+  EXPECT_TRUE(is_feasible_with_jitter(ts, jitters));
+}
+
+TEST(JitterRta, MonotoneInJitter) {
+  const TaskSet ts = table2_system();
+  Duration prev;
+  for (std::int64_t j = 0; j <= 200; j += 20) {
+    std::vector<Duration> jitters(3, Duration::ms(j));
+    const auto r = response_time_with_jitter(ts, 2, jitters);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GE(*r, prev);
+    prev = *r;
+  }
+}
+
+TEST(JitterRta, InputValidation) {
+  const TaskSet ts = table2_system();
+  EXPECT_THROW(
+      (void)response_time_with_jitter(ts, 0, no_jitter(2)),
+      ContractViolation);
+  std::vector<Duration> negative = no_jitter(3);
+  negative[1] = Duration::ms(-1);
+  EXPECT_THROW((void)response_time_with_jitter(ts, 0, negative),
+               ContractViolation);
+}
+
+TEST(ScalingFactor, PaperSystemScalesToTau3Boundary) {
+  // Binding constraint: 3·(29λ) <= 120 => λ = 120/87 ≈ 1.37931.
+  const ScalingFactor lambda =
+      critical_scaling_factor(table2_system(), /*precision_ppm=*/100);
+  EXPECT_NEAR(lambda.value(), 120.0 / 87.0, 2e-4);
+  EXPECT_GT(lambda.value(), 1.0);  // feasible systems have headroom
+}
+
+TEST(ScalingFactor, InfeasibleSystemGetsShrinkFactor) {
+  // Table 1's τ2 misses (WCRT 6 > D 2): λ < 1 tells how much to shrink.
+  const TaskSet ts = rtft::testsupport::table1_system();
+  const ScalingFactor lambda = critical_scaling_factor(ts, 100);
+  EXPECT_LT(lambda.value(), 1.0);
+  EXPECT_GT(lambda.value(), 0.0);
+}
+
+class ScalingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalingProperty, FeasibleAtLambdaInfeasibleJustAbove) {
+  Rng rng(GetParam());
+  RandomTaskSetSpec spec;
+  spec.tasks = 2 + static_cast<std::size_t>(rng.next_in(0, 4));
+  spec.total_utilization = 0.3 + 0.5 * rng.next_double();
+  const TaskSet ts = make_random_task_set(rng, spec);
+
+  const std::int64_t precision = 1'000;
+  const ScalingFactor lambda = critical_scaling_factor(ts, precision);
+  if (lambda.ppm == 0) GTEST_SKIP() << "degenerate draw";
+
+  // Rebuild the scaled sets exactly as the search does.
+  const auto scale = [&](std::int64_t ppm) {
+    TaskSet out;
+    for (const TaskParams& t : ts) {
+      TaskParams copy = t;
+      std::int64_t ns = (t.cost.count() * ppm + 999'999) / 1'000'000;
+      if (ns < 1) ns = 1;
+      copy.cost = Duration::ns(ns);
+      out.add(std::move(copy));
+    }
+    return out;
+  };
+  EXPECT_TRUE(is_feasible(scale(lambda.ppm)));
+  EXPECT_FALSE(is_feasible(scale(lambda.ppm + 2 * precision)));
+  // Consistency with the boolean verdict at 1.0.
+  EXPECT_EQ(is_feasible(ts), lambda.value() >= 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalingProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace rtft::sched

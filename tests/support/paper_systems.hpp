@@ -1,0 +1,43 @@
+// The paper's two task systems, used throughout the test and bench suites.
+#pragma once
+
+#include "sched/task.hpp"
+
+namespace rtft::testsupport {
+
+using rtft::Duration;
+using rtft::sched::TaskParams;
+using rtft::sched::TaskSet;
+
+/// Paper Table 1 (the response-time example of §2.2 / Figure 1):
+///   τ1: P=20 D=6 T=6 C=3,  τ2: P=15 D=2 T=4 C=2   (interpreted as ms).
+/// τ2's worst response is 6 at its *second* job — the example shows the
+/// critical-instant job is not always the worst one.
+inline TaskSet table1_system() {
+  TaskSet ts;
+  ts.add(TaskParams{"tau1", 20, Duration::ms(3), Duration::ms(6),
+                    Duration::ms(6), Duration::zero()});
+  ts.add(TaskParams{"tau2", 15, Duration::ms(2), Duration::ms(4),
+                    Duration::ms(2), Duration::zero()});
+  return ts;
+}
+
+/// Paper Table 2 (the evaluated system of §6):
+///   τ1: P=20 T=200 D=70  C=29
+///   τ2: P=18 T=250 D=120 C=29
+///   τ3: P=16 T=1500 D=120 C=29      (ms)
+/// WCRTs 29/58/87 ms, equitable allowance A=11 ms, system budget B=33 ms.
+/// `tau3_offset` shifts τ3 so its job joins the t=1000 ms window of
+/// Figures 3–7 (see DESIGN.md).
+inline TaskSet table2_system(Duration tau3_offset = Duration::zero()) {
+  TaskSet ts;
+  ts.add(TaskParams{"tau1", 20, Duration::ms(29), Duration::ms(200),
+                    Duration::ms(70), Duration::zero()});
+  ts.add(TaskParams{"tau2", 18, Duration::ms(29), Duration::ms(250),
+                    Duration::ms(120), Duration::zero()});
+  ts.add(TaskParams{"tau3", 16, Duration::ms(29), Duration::ms(1500),
+                    Duration::ms(120), tau3_offset});
+  return ts;
+}
+
+}  // namespace rtft::testsupport

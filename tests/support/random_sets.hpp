@@ -1,0 +1,31 @@
+// Random task-set construction shared by property tests and benchmarks.
+#pragma once
+
+#include <string>
+
+#include "common/random.hpp"
+#include "sched/priority.hpp"
+#include "sched/task.hpp"
+
+namespace rtft::testsupport {
+
+/// Builds a TaskSet from random parameters with deadline-monotonic
+/// priorities (unique, descending from the RTSJ max).
+inline sched::TaskSet make_random_task_set(Rng& rng,
+                                           const RandomTaskSetSpec& spec) {
+  const auto raw = random_task_set(rng, spec);
+  sched::TaskSet ts;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    sched::TaskParams p;
+    p.name = "t" + std::to_string(i);
+    p.priority = 0;  // assigned below
+    p.cost = raw[i].cost;
+    p.period = raw[i].period;
+    p.deadline = raw[i].deadline;
+    p.offset = Duration::zero();
+    ts.add(std::move(p));
+  }
+  return sched::with_deadline_monotonic_priorities(ts);
+}
+
+}  // namespace rtft::testsupport

@@ -1,0 +1,71 @@
+// Golden snapshot of the Figure 5 fault-window chart: locks both the
+// execution reconstruction and the renderer. If this test breaks, either
+// the engine's schedule changed (investigate first!) or the chart format
+// was deliberately revised (then update the snapshot).
+#include <gtest/gtest.h>
+
+#include "core/ft_system.hpp"
+#include "core/paper.hpp"
+#include "trace/ascii_chart.hpp"
+
+namespace rtft::trace {
+namespace {
+
+using namespace rtft::literals;
+
+constexpr char kFigure5Window[] =
+    "      [980ms .. 1140ms, 2ms/col]\n"
+    "tau1            ^              *                   v                "
+    "                  \n"
+    "                ###############X                                    "
+    "                  \n"
+    "tau2            ^                             *                     "
+    "        v         \n"
+    "                ...............###############                      "
+    "                  \n"
+    "tau3            ^                                            *      "
+    "        v         \n"
+    "                .............................###############       "
+    "                   \n";
+
+TEST(ChartGolden, Figure5FaultWindow) {
+  core::paper::Scenario s =
+      core::paper::figures_scenario(core::TreatmentPolicy::kInstantStop);
+  const sched::TaskSet tasks = s.config.tasks;
+  core::FaultTolerantSystem sys(std::move(s.config), std::move(s.faults));
+  (void)sys.run();
+  const SystemTimeline tl = build_timeline(
+      tasks, sys.recorder(), Instant::epoch() + core::paper::kFigureHorizon);
+
+  AsciiChartOptions opts;
+  opts.from = Instant::epoch() + 980_ms;
+  opts.to = Instant::epoch() + 1140_ms;
+  opts.width = 80;
+  opts.legend = false;
+  const std::string chart = render_ascii_chart(tl, opts);
+
+  // Compare line by line after trimming trailing spaces (they carry no
+  // information and make the golden string fragile).
+  const auto normalize = [](std::string_view text) {
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t end = text.find('\n', pos);
+      if (end == std::string_view::npos) end = text.size();
+      std::string line(text.substr(pos, end - pos));
+      while (!line.empty() && line.back() == ' ') line.pop_back();
+      lines.push_back(std::move(line));
+      pos = end + 1;
+    }
+    return lines;
+  };
+  const auto actual = normalize(chart);
+  const auto expected = normalize(kFigure5Window);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "line " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rtft::trace

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/ft_system.hpp"
+#include "core/paper.hpp"
+#include "trace/ascii_chart.hpp"
+#include "trace/svg_chart.hpp"
+
+namespace rtft::trace {
+namespace {
+
+using core::FaultTolerantSystem;
+using core::TreatmentPolicy;
+using namespace rtft::literals;
+
+SystemTimeline figure_timeline(TreatmentPolicy policy) {
+  core::paper::Scenario s = core::paper::figures_scenario(policy);
+  const sched::TaskSet tasks = s.config.tasks;
+  FaultTolerantSystem sys(std::move(s.config), std::move(s.faults));
+  (void)sys.run();
+  return build_timeline(tasks, sys.recorder(),
+                        Instant::epoch() + core::paper::kFigureHorizon);
+}
+
+AsciiChartOptions window_1000_1130() {
+  AsciiChartOptions opts;
+  opts.from = Instant::epoch() + 1000_ms;
+  opts.to = Instant::epoch() + 1130_ms;
+  opts.width = 130;  // 1 ms per column
+  return opts;
+}
+
+TEST(AsciiChart, RendersAllTaskRows) {
+  const std::string chart = render_ascii_chart(
+      figure_timeline(TreatmentPolicy::kInstantStop), window_1000_1130());
+  EXPECT_NE(chart.find("tau1"), std::string::npos);
+  EXPECT_NE(chart.find("tau2"), std::string::npos);
+  EXPECT_NE(chart.find("tau3"), std::string::npos);
+  EXPECT_NE(chart.find("running"), std::string::npos) << "legend expected";
+}
+
+TEST(AsciiChart, StopMarkAppearsForInstantStop) {
+  const std::string chart = render_ascii_chart(
+      figure_timeline(TreatmentPolicy::kInstantStop), window_1000_1130());
+  EXPECT_NE(chart.find('X'), std::string::npos);
+}
+
+TEST(AsciiChart, NoStopMarkWithoutTreatment) {
+  AsciiChartOptions opts = window_1000_1130();
+  opts.legend = false;  // the legend itself contains the X glyph
+  const std::string chart = render_ascii_chart(
+      figure_timeline(TreatmentPolicy::kDetectOnly), opts);
+  EXPECT_EQ(chart.find('X'), std::string::npos);
+}
+
+TEST(AsciiChart, DetectorMarksOnlyWhenInstalled) {
+  AsciiChartOptions opts = window_1000_1130();
+  opts.legend = false;
+  const std::string with =
+      render_ascii_chart(figure_timeline(TreatmentPolicy::kDetectOnly), opts);
+  const std::string without = render_ascii_chart(
+      figure_timeline(TreatmentPolicy::kNoDetection), opts);
+  EXPECT_NE(with.find('*'), std::string::npos);
+  EXPECT_EQ(without.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, DeterministicOutput) {
+  const std::string a = render_ascii_chart(
+      figure_timeline(TreatmentPolicy::kSystemAllowance), window_1000_1130());
+  const std::string b = render_ascii_chart(
+      figure_timeline(TreatmentPolicy::kSystemAllowance), window_1000_1130());
+  EXPECT_EQ(a, b);
+}
+
+TEST(AsciiChart, UnicodeGlyphs) {
+  AsciiChartOptions opts = window_1000_1130();
+  opts.unicode = true;
+  const std::string chart = render_ascii_chart(
+      figure_timeline(TreatmentPolicy::kDetectOnly), opts);
+  EXPECT_NE(chart.find("↑"), std::string::npos);
+  EXPECT_NE(chart.find("█"), std::string::npos);
+  EXPECT_NE(chart.find("◆"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsDegenerateWindows) {
+  const SystemTimeline tl = figure_timeline(TreatmentPolicy::kNoDetection);
+  AsciiChartOptions opts;
+  opts.width = 4;
+  EXPECT_THROW((void)render_ascii_chart(tl, opts), ContractViolation);
+  opts = AsciiChartOptions{};
+  opts.from = Instant::epoch() + 10_ms;
+  opts.to = Instant::epoch() + 10_ms;
+  EXPECT_THROW((void)render_ascii_chart(tl, opts), ContractViolation);
+}
+
+TEST(SvgChart, WellFormedDocument) {
+  const std::string svg = render_svg_chart(
+      figure_timeline(TreatmentPolicy::kInstantStop), SvgChartOptions{});
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("tau1"), std::string::npos);
+  // Stop cross drawn in red.
+  EXPECT_NE(svg.find("#cc0000"), std::string::npos);
+}
+
+TEST(SvgChart, WindowedRenderOmitsOutsideEvents) {
+  SvgChartOptions opts;
+  opts.from = Instant::epoch() + 0_ms;
+  opts.to = Instant::epoch() + 100_ms;
+  const std::string svg = render_svg_chart(
+      figure_timeline(TreatmentPolicy::kInstantStop), opts);
+  // No stop happens before 100 ms, so no red cross in this window.
+  EXPECT_EQ(svg.find("stroke=\"#cc0000\""), std::string::npos);
+}
+
+TEST(SvgChart, Deterministic) {
+  const SystemTimeline tl = figure_timeline(TreatmentPolicy::kDetectOnly);
+  EXPECT_EQ(render_svg_chart(tl, SvgChartOptions{}),
+            render_svg_chart(tl, SvgChartOptions{}));
+}
+
+}  // namespace
+}  // namespace rtft::trace

@@ -1,0 +1,89 @@
+#include "trace/log_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/ft_system.hpp"
+#include "core/paper.hpp"
+
+namespace rtft::trace {
+namespace {
+
+using core::FaultTolerantSystem;
+using core::TreatmentPolicy;
+using namespace rtft::literals;
+
+struct LoggedRun {
+  sched::TaskSet tasks;
+  std::unique_ptr<FaultTolerantSystem> sys;
+};
+
+LoggedRun small_run() {
+  LoggedRun r;
+  core::paper::Scenario s =
+      core::paper::figures_scenario(TreatmentPolicy::kInstantStop);
+  s.config.horizon = 1200_ms;
+  r.tasks = s.config.tasks;
+  r.sys = std::make_unique<FaultTolerantSystem>(std::move(s.config),
+                                                std::move(s.faults));
+  (void)r.sys->run();
+  return r;
+}
+
+TEST(TextLog, OneLinePerEventWithNames) {
+  const LoggedRun r = small_run();
+  const std::string log = text_log_string(r.sys->recorder(), r.tasks);
+  EXPECT_NE(log.find("release"), std::string::npos);
+  EXPECT_NE(log.find("task-stopped"), std::string::npos);
+  EXPECT_NE(log.find("tau1"), std::string::npos);
+  // Line count equals event count.
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(log.begin(), log.end(), '\n'));
+  EXPECT_EQ(lines, r.sys->recorder().size());
+}
+
+TEST(Csv, HeaderAndRowShape) {
+  const LoggedRun r = small_run();
+  const std::string csv = csv_string(r.sys->recorder(), r.tasks);
+  EXPECT_EQ(csv.rfind("time_ns,kind,task,job,detail\n", 0), 0u);
+  // Every row has exactly 4 commas.
+  std::size_t pos = csv.find('\n') + 1;
+  while (pos < csv.size()) {
+    const std::size_t end = csv.find('\n', pos);
+    const std::string_view row(csv.data() + pos, end - pos);
+    EXPECT_EQ(std::count(row.begin(), row.end(), ','), 4) << row;
+    pos = end + 1;
+  }
+}
+
+TEST(Json, ParsesStructurally) {
+  const LoggedRun r = small_run();
+  const std::string json = json_string(r.sys->recorder(), r.tasks);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"kind\": \"release\""), std::string::npos);
+  EXPECT_NE(json.find("\"task\": \"tau2\""), std::string::npos);
+  // Balanced braces: one '{' per event.
+  const auto opens =
+      std::count(json.begin(), json.end(), '{');
+  const auto closes =
+      std::count(json.begin(), json.end(), '}');
+  EXPECT_EQ(opens, closes);
+  EXPECT_EQ(static_cast<std::size_t>(opens), r.sys->recorder().size());
+}
+
+TEST(WriteFile, RoundTripsAndReportsErrors) {
+  const std::string path = ::testing::TempDir() + "/rtft_log_test.txt";
+  write_file(path, "hello\n");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello\n");
+  std::remove(path.c_str());
+  EXPECT_THROW(write_file("/nonexistent-dir/x/y.txt", "a"),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtft::trace

@@ -1,0 +1,128 @@
+#include "trace/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ft_system.hpp"
+#include "core/paper.hpp"
+#include "trace/stats.hpp"
+
+namespace rtft::trace {
+namespace {
+
+using core::FaultTolerantSystem;
+using core::TreatmentPolicy;
+using namespace rtft::literals;
+
+constexpr Instant at(std::int64_t ms) {
+  return Instant::epoch() + Duration::ms(ms);
+}
+
+/// The Figure 5 run, reconstructed.
+SystemTimeline fig5_timeline(core::RunReport* report_out = nullptr) {
+  core::paper::Scenario s =
+      core::paper::figures_scenario(TreatmentPolicy::kInstantStop);
+  const sched::TaskSet tasks = s.config.tasks;
+  FaultTolerantSystem sys(std::move(s.config), std::move(s.faults));
+  const core::RunReport report = sys.run();
+  if (report_out) *report_out = report;
+  return build_timeline(tasks, sys.recorder(),
+                        Instant::epoch() + core::paper::kFigureHorizon);
+}
+
+TEST(Timeline, JobRecordsCarryReleaseAndDeadline) {
+  const SystemTimeline tl = fig5_timeline();
+  ASSERT_EQ(tl.tasks.size(), 3u);
+  const TaskTimeline& tau1 = tl.tasks[0];
+  ASSERT_GE(tau1.jobs.size(), 6u);
+  EXPECT_EQ(tau1.jobs[0].release, at(0));
+  EXPECT_EQ(tau1.jobs[0].deadline, at(70));
+  EXPECT_EQ(tau1.jobs[5].release, at(1000));
+  EXPECT_EQ(tau1.jobs[5].deadline, at(1070));
+}
+
+TEST(Timeline, FaultyJobAbortedWithSpans) {
+  const SystemTimeline tl = fig5_timeline();
+  const JobRecord& faulty = tl.tasks[0].jobs[5];
+  EXPECT_FALSE(faulty.end.has_value());
+  ASSERT_TRUE(faulty.aborted_at.has_value());
+  EXPECT_EQ(*faulty.aborted_at, at(1030));
+  EXPECT_TRUE(faulty.missed);
+  // One uninterrupted execution span [1000, 1030).
+  ASSERT_EQ(faulty.spans.size(), 1u);
+  EXPECT_EQ(faulty.spans[0].begin, at(1000));
+  EXPECT_EQ(faulty.spans[0].end, at(1030));
+  EXPECT_FALSE(faulty.response().has_value());
+}
+
+TEST(Timeline, CompletedJobHasResponse) {
+  const SystemTimeline tl = fig5_timeline();
+  const JobRecord& j = tl.tasks[1].jobs[4];  // τ2's window job
+  ASSERT_TRUE(j.end.has_value());
+  EXPECT_EQ(*j.end, at(1059));
+  EXPECT_EQ(j.response(), 59_ms);
+  EXPECT_FALSE(j.missed);
+}
+
+TEST(Timeline, StoppedTaskMarked) {
+  const SystemTimeline tl = fig5_timeline();
+  ASSERT_TRUE(tl.tasks[0].stopped_at.has_value());
+  EXPECT_EQ(*tl.tasks[0].stopped_at, at(1030));
+  EXPECT_FALSE(tl.tasks[1].stopped_at.has_value());
+}
+
+TEST(Timeline, DetectorFiresCollected) {
+  const SystemTimeline tl = fig5_timeline();
+  // τ3's detector fires once (at 1090), its only job in the horizon.
+  ASSERT_EQ(tl.tasks[2].detector_fires.size(), 1u);
+  EXPECT_EQ(tl.tasks[2].detector_fires[0], at(1090));
+  EXPECT_TRUE(tl.tasks[2].fault_detections.empty());
+  // τ1 accumulated one fault detection (the injected overrun).
+  EXPECT_EQ(tl.tasks[0].fault_detections.size(), 1u);
+}
+
+TEST(Timeline, IdleComplementsExecution) {
+  const SystemTimeline tl = fig5_timeline();
+  // Total execution + idle must equal the window.
+  Duration busy;
+  for (const TaskTimeline& t : tl.tasks) {
+    for (const JobRecord& j : t.jobs) {
+      for (const ExecutionSpan& s : j.spans) busy += s.end - s.begin;
+    }
+  }
+  Duration idle;
+  for (const ExecutionSpan& s : tl.idle) idle += s.end - s.begin;
+  EXPECT_EQ(busy + idle, core::paper::kFigureHorizon);
+}
+
+TEST(Stats, Figure5Summary) {
+  core::RunReport report;
+  const SystemTimeline tl = fig5_timeline(&report);
+  const SystemStatsSummary stats = compute_stats(tl);
+  ASSERT_EQ(stats.tasks.size(), 3u);
+  EXPECT_EQ(stats.tasks[0].name, "tau1");
+  EXPECT_EQ(stats.tasks[0].missed, 1);
+  EXPECT_EQ(stats.tasks[0].aborted, 1);
+  EXPECT_TRUE(stats.tasks[0].stopped);
+  EXPECT_EQ(stats.tasks[1].missed, 0);
+  EXPECT_EQ(stats.tasks[2].missed, 0);
+  EXPECT_EQ(stats.total_misses, 1);
+  // Stats agree with the engine's own counters.
+  EXPECT_EQ(stats.tasks[0].released, report.tasks[0].stats.released);
+  EXPECT_EQ(stats.tasks[1].completed, report.tasks[1].stats.completed);
+  // τ1's nominal jobs respond in 29 ms.
+  EXPECT_EQ(stats.tasks[0].min_response, 29_ms);
+  EXPECT_EQ(stats.tasks[0].max_response, 29_ms);
+  // The table renders every task and the footer.
+  const std::string table = stats.table();
+  EXPECT_NE(table.find("tau3"), std::string::npos);
+  EXPECT_NE(table.find("misses 1"), std::string::npos);
+}
+
+TEST(Stats, CpuUtilizationIsSane) {
+  const SystemStatsSummary stats = compute_stats(fig5_timeline());
+  EXPECT_GT(stats.cpu_utilization, 0.05);
+  EXPECT_LT(stats.cpu_utilization, 0.60);
+}
+
+}  // namespace
+}  // namespace rtft::trace

@@ -1,0 +1,111 @@
+#include "trace/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ft_system.hpp"
+#include "core/paper.hpp"
+
+namespace rtft::trace {
+namespace {
+
+using namespace rtft::literals;
+
+sched::TaskSet two_tasks() {
+  sched::TaskSet ts;
+  ts.add(sched::TaskParams{"hi", 9, 2_ms, 10_ms, 10_ms, 0_ms});
+  ts.add(sched::TaskParams{"lo", 1, 3_ms, 20_ms, 20_ms, 0_ms});
+  return ts;
+}
+
+TEST(Validator, AcceptsARealEngineRun) {
+  core::FtSystemConfig cfg;
+  cfg.tasks = core::paper::table2_system();
+  cfg.policy = core::TreatmentPolicy::kDetectOnly;
+  cfg.horizon = 3000_ms;
+  const sched::TaskSet ts = cfg.tasks;
+  core::FaultTolerantSystem sys(std::move(cfg));
+  (void)sys.run();
+  const ValidationResult v = validate_trace(ts, sys.recorder());
+  EXPECT_TRUE(v.ok()) << v.summary();
+  EXPECT_EQ(v.summary(), "trace ok");
+}
+
+TEST(Validator, FlagsOutOfOrderDates) {
+  Recorder rec;
+  rec.record(Instant::epoch() + 5_ms, EventKind::kJobRelease, 0, 0);
+  rec.record(Instant::epoch() + 3_ms, EventKind::kJobRelease, 1, 0);
+  const ValidationResult v = validate_trace(two_tasks(), rec);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.summary().find("backwards"), std::string::npos);
+}
+
+TEST(Validator, FlagsSkippedReleaseIndex) {
+  Recorder rec;
+  rec.record(Instant::epoch(), EventKind::kJobRelease, 0, 0);
+  rec.record(Instant::epoch() + 10_ms, EventKind::kJobRelease, 0, 2);
+  const ValidationResult v = validate_trace(two_tasks(), rec);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.summary().find("expected 1"), std::string::npos);
+}
+
+TEST(Validator, FlagsNonPeriodSpacedReleases) {
+  Recorder rec;
+  rec.record(Instant::epoch(), EventKind::kJobRelease, 0, 0);
+  rec.record(Instant::epoch() + 7_ms, EventKind::kJobRelease, 0, 1);
+  const ValidationResult v = validate_trace(two_tasks(), rec);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.summary().find("period-spaced"), std::string::npos);
+}
+
+TEST(Validator, FlagsRunBeforeRelease) {
+  Recorder rec;
+  rec.record(Instant::epoch(), EventKind::kJobStart, 0, 0);
+  const ValidationResult v = validate_trace(two_tasks(), rec);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.summary().find("before its release"), std::string::npos);
+}
+
+TEST(Validator, FlagsPriorityInversion) {
+  // hi releases at 0 and never runs; lo is dispatched: inversion.
+  Recorder rec;
+  rec.record(Instant::epoch(), EventKind::kJobRelease, 0, 0);  // hi
+  rec.record(Instant::epoch(), EventKind::kJobRelease, 1, 0);  // lo
+  rec.record(Instant::epoch(), EventKind::kJobStart, 1, 0);    // lo runs!
+  const ValidationResult v = validate_trace(two_tasks(), rec);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.summary().find("higher-priority"), std::string::npos);
+}
+
+TEST(Validator, FlagsCpuOverlap) {
+  Recorder rec;
+  rec.record(Instant::epoch(), EventKind::kJobRelease, 1, 0);
+  rec.record(Instant::epoch(), EventKind::kJobStart, 1, 0);
+  rec.record(Instant::epoch() + 1_ms, EventKind::kJobRelease, 0, 0);
+  // hi starts without lo being preempted: two tasks on one CPU.
+  rec.record(Instant::epoch() + 1_ms, EventKind::kJobStart, 0, 0);
+  const ValidationResult v = validate_trace(two_tasks(), rec);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.summary().find("handed over"), std::string::npos);
+}
+
+TEST(Validator, FlagsReleaseAfterStop) {
+  Recorder rec;
+  rec.record(Instant::epoch(), EventKind::kJobRelease, 0, 0);
+  rec.record(Instant::epoch() + 1_ms, EventKind::kTaskStopped, 0, 0);
+  rec.record(Instant::epoch() + 10_ms, EventKind::kJobRelease, 0, 1);
+  const ValidationResult v = validate_trace(two_tasks(), rec);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.summary().find("after stop"), std::string::npos);
+}
+
+TEST(Validator, FlagsCompletionOfNonRunningJob) {
+  Recorder rec;
+  rec.record(Instant::epoch(), EventKind::kJobRelease, 0, 0);
+  rec.record(Instant::epoch() + 2_ms, EventKind::kJobEnd, 0, 0);
+  const ValidationResult v = validate_trace(two_tasks(), rec);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.summary().find("non-running"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtft::trace
