@@ -64,7 +64,7 @@ void BM_ResponseTime_ArbitraryDeadlines(benchmark::State& state) {
   spec.total_utilization = 0.9;
   spec.deadline_min_factor = 1.0;
   spec.deadline_max_factor = 3.0;
-  const sched::TaskSet ts = rtft::bench::to_task_set(random_task_set(rng, spec));
+  const sched::TaskSet ts = rtft::sweep::make_random_task_set(rng, spec);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sched::response_times(ts));
   }

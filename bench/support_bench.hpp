@@ -1,33 +1,18 @@
-// Shared workload builders for the perf benchmarks.
+// Shared workload builders for the perf benchmarks — thin aliases over the
+// sweep generators (src/sweep/generators.*), which own the construction.
 #pragma once
 
-#include <string>
-
-#include "common/random.hpp"
-#include "sched/priority.hpp"
-#include "sched/task.hpp"
+#include "sweep/generators.hpp"
 
 namespace rtft::bench {
-
-/// Converts raw random tasks into a TaskSet with DM priorities.
-inline sched::TaskSet to_task_set(const std::vector<RandomTask>& raw) {
-  sched::TaskSet ts;
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    ts.add(sched::TaskParams{"t" + std::to_string(i), 0, raw[i].cost,
-                             raw[i].period, raw[i].deadline,
-                             Duration::zero()});
-  }
-  return sched::with_deadline_monotonic_priorities(ts);
-}
 
 /// Deterministic random constrained-deadline set.
 inline sched::TaskSet random_set(std::uint64_t seed, std::size_t tasks,
                                  double utilization) {
-  Rng rng(seed);
   RandomTaskSetSpec spec;
   spec.tasks = tasks;
   spec.total_utilization = utilization;
-  return to_task_set(random_task_set(rng, spec));
+  return sweep::make_seeded_task_set(seed, spec);
 }
 
 }  // namespace rtft::bench

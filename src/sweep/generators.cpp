@@ -1,0 +1,41 @@
+#include "sweep/generators.hpp"
+
+#include <string>
+#include <utility>
+
+#include "sched/priority.hpp"
+
+namespace rtft::sweep {
+
+sched::TaskSet make_random_task_set(Rng& rng, const RandomTaskSetSpec& spec) {
+  const auto raw = random_task_set(rng, spec);
+  sched::TaskSet ts;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    sched::TaskParams p;
+    p.name = "t" + std::to_string(i);
+    p.priority = 0;  // assigned below
+    p.cost = raw[i].cost;
+    p.period = raw[i].period;
+    p.deadline = raw[i].deadline;
+    p.offset = Duration::zero();
+    ts.add(std::move(p));
+  }
+  return sched::with_deadline_monotonic_priorities(ts);
+}
+
+sched::TaskSet make_seeded_task_set(std::uint64_t seed,
+                                    const RandomTaskSetSpec& spec) {
+  Rng rng(seed);
+  return make_random_task_set(rng, spec);
+}
+
+std::uint64_t scenario_seed(std::uint64_t base_seed, std::uint64_t index) {
+  // SplitMix64 finalizer over the combined inputs. The golden-ratio
+  // increment keeps index 0 from passing base_seed through unmixed.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rtft::sweep

@@ -1,0 +1,34 @@
+// Scenario generation for batch sweeps.
+//
+// Promoted from the test-suite's random task-set helper so that tests,
+// benchmarks and the sweep engine all draw task systems from one place:
+// UUniFast utilizations, log-uniform periods, deadline-monotonic
+// priorities (see common/random.hpp for the underlying generator).
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "sched/task.hpp"
+
+namespace rtft::sweep {
+
+/// Builds a TaskSet from random parameters with deadline-monotonic
+/// priorities (unique, descending from the RTSJ max). Task names are
+/// "t0", "t1", ... in generation order.
+[[nodiscard]] sched::TaskSet make_random_task_set(Rng& rng,
+                                                  const RandomTaskSetSpec& spec);
+
+/// One-shot convenience: a fresh Rng seeded with `seed`, then
+/// make_random_task_set. Identical seed + spec => identical set.
+[[nodiscard]] sched::TaskSet make_seeded_task_set(std::uint64_t seed,
+                                                  const RandomTaskSetSpec& spec);
+
+/// Derives the per-scenario seed for scenario `index` of a sweep keyed by
+/// `base_seed`. SplitMix64-style mixing: changing either input decorrelates
+/// every generated task set, and the mapping is stable across platforms,
+/// worker counts and scheduling order.
+[[nodiscard]] std::uint64_t scenario_seed(std::uint64_t base_seed,
+                                          std::uint64_t index);
+
+}  // namespace rtft::sweep

@@ -1,0 +1,348 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "core/ft_system.hpp"
+#include "runtime/engine.hpp"
+#include "sched/allowance.hpp"
+#include "sched/feasibility.hpp"
+#include "sched/priority.hpp"
+
+namespace rtft::sweep {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic fingerprinting (FNV-1a 64).
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(d));
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+void fingerprint_verdict(std::uint64_t& h, const ScenarioVerdict& v) {
+  fnv_mix(h, v.index);
+  fnv_mix(h, v.seed);
+  fnv_mix(h, v.cell);
+  fnv_mix(h, v.task_count);
+  fnv_mix(h, bits_of(v.actual_utilization));
+  fnv_mix(h, static_cast<std::uint64_t>(v.detector_cost.count()));
+  const std::uint64_t flags =
+      (v.rta_schedulable ? 1u : 0u) | (v.engine_clean ? 2u : 0u) |
+      (v.agreement ? 4u : 0u) | (v.allowance_feasible ? 8u : 0u) |
+      (v.allowance_honored ? 16u : 0u) | (v.detector_clean ? 32u : 0u);
+  fnv_mix(h, flags);
+  fnv_mix(h, static_cast<std::uint64_t>(v.nominal_misses));
+  fnv_mix(h, static_cast<std::uint64_t>(v.allowance.count()));
+  fnv_mix(h, static_cast<std::uint64_t>(v.detector_faults));
+}
+
+// ---------------------------------------------------------------------------
+// Per-scenario execution.
+// ---------------------------------------------------------------------------
+
+Duration max_period(const sched::TaskSet& ts) {
+  Duration m = Duration::zero();
+  for (const auto& t : ts) m = std::max(m, t.period);
+  return m;
+}
+
+/// Runs `ts` on a bare engine over `horizon`; `faulty` (if valid) gets
+/// `extra` added to the cost of its job 0. Returns total deadline misses.
+std::int64_t engine_misses(const sched::TaskSet& ts, Duration horizon,
+                           std::optional<sched::TaskId> faulty = {},
+                           Duration extra = Duration::zero()) {
+  rt::EngineOptions eopts;
+  eopts.horizon = Instant::epoch() + horizon;
+  rt::Engine engine(eopts);
+  std::vector<rt::TaskHandle> handles;
+  handles.reserve(ts.size());
+  for (sched::TaskId id = 0; id < ts.size(); ++id) {
+    rt::CostModel cost;  // empty = nominal
+    if (faulty && *faulty == id) {
+      const Duration nominal = ts[id].cost;
+      cost = [nominal, extra](std::int64_t job) {
+        return job == 0 ? nominal + extra : nominal;
+      };
+    }
+    handles.push_back(engine.add_task(ts[id], std::move(cost)));
+  }
+  engine.run();
+  std::int64_t misses = 0;
+  for (const rt::TaskHandle h : handles) misses += engine.stats(h).missed;
+  return misses;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Aggregates.
+// ---------------------------------------------------------------------------
+
+void SweepAggregate::add(const ScenarioVerdict& v) {
+  ++total;
+  if (v.rta_schedulable) ++rta_schedulable;
+  if (v.engine_clean) ++engine_clean;
+  if (!v.agreement) ++agreement_violations;
+  if (v.allowance_feasible) {
+    ++allowance_feasible;
+    allowance_sum += v.allowance;
+    if (v.allowance_honored) ++allowance_honored;
+  }
+  if (v.detector_clean) ++detector_clean;
+}
+
+double SweepAggregate::mean_allowance_ms() const {
+  if (allowance_feasible == 0) return 0.0;
+  return allowance_sum.to_ms() / static_cast<double>(allowance_feasible);
+}
+
+// ---------------------------------------------------------------------------
+// Grid plumbing.
+// ---------------------------------------------------------------------------
+
+ScenarioSpec scenario_spec(const SweepOptions& opts, std::uint64_t index) {
+  const SweepGrid& g = opts.grid;
+  RTFT_EXPECTS(g.cell_count() > 0, "sweep grid must have at least one cell");
+  const std::size_t cells = g.cell_count();
+  const std::size_t cell = static_cast<std::size_t>(index % cells);
+
+  // Flat cell -> (task_count, utilization, detector_cost); detector cost
+  // varies fastest, task count slowest.
+  const std::size_t d_n = g.detector_costs.size();
+  const std::size_t u_n = g.utilizations.size();
+  const std::size_t d_i = cell % d_n;
+  const std::size_t u_i = (cell / d_n) % u_n;
+  const std::size_t t_i = cell / (d_n * u_n);
+
+  ScenarioSpec spec;
+  spec.index = index;
+  spec.seed = scenario_seed(opts.base_seed, index);
+  spec.cell = cell;
+  spec.tasks.tasks = g.task_counts[t_i];
+  spec.tasks.total_utilization = g.utilizations[u_i];
+  spec.tasks.min_period = g.min_period;
+  spec.tasks.max_period = g.max_period;
+  spec.tasks.deadline_min_factor = g.deadline_min_factor;
+  spec.tasks.deadline_max_factor = g.deadline_max_factor;
+  spec.detector_cost = g.detector_costs[d_i];
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// One scenario.
+// ---------------------------------------------------------------------------
+
+ScenarioVerdict run_scenario(const ScenarioSpec& spec,
+                             const SweepOptions& opts) {
+  const sched::TaskSet ts = make_seeded_task_set(spec.seed, spec.tasks);
+  const Duration horizon = max_period(ts) * opts.horizon_periods;
+
+  ScenarioVerdict v;
+  v.index = spec.index;
+  v.seed = spec.seed;
+  v.cell = spec.cell;
+  v.task_count = ts.size();
+  v.target_utilization = spec.tasks.total_utilization;
+  v.actual_utilization = ts.utilization();
+  v.detector_cost = spec.detector_cost;
+
+  // 1. Analysis.
+  v.rta_schedulable = sched::is_feasible(ts);
+
+  // 2. Nominal engine run (synchronous release; the engine must agree
+  //    with a schedulable verdict — RTA is a sound worst case).
+  v.nominal_misses = engine_misses(ts, horizon);
+  v.engine_clean = v.nominal_misses == 0;
+  v.agreement = !v.rta_schedulable || v.engine_clean;
+
+  // 3. Equitable allowance, then a faulty run overrunning by exactly A.
+  sched::AllowanceOptions aopts;
+  aopts.granularity = opts.allowance_granularity;
+  const sched::EquitableAllowance ea = sched::equitable_allowance(ts, aopts);
+  v.allowance_feasible = ea.feasible_at_zero;
+  if (ea.feasible_at_zero) {
+    v.allowance = ea.allowance;
+    const sched::TaskId top = ts.by_priority_desc().front();
+    v.allowance_honored =
+        engine_misses(ts, horizon, top, ea.allowance) == 0;
+  }
+
+  // 4. Detector-loaded run: detectors armed (exact thresholds, per-fire
+  //    CPU cost) on top of the nominal workload.
+  core::FtSystemConfig cfg;
+  cfg.tasks = ts;
+  cfg.policy = opts.detector_policy;
+  cfg.horizon = horizon;
+  cfg.detector.quantizer = rt::Quantizer{Duration::ms(1), rt::Rounding::kNone};
+  cfg.detector.fire_cost = spec.detector_cost;
+  cfg.allowance = aopts;
+  cfg.run_infeasible = true;
+  core::FaultTolerantSystem system(std::move(cfg));
+  const core::RunReport report = system.run();
+  if (report.executed) {
+    v.detector_clean = report.total_misses() == 0;
+    for (const auto& t : report.tasks) v.detector_faults += t.faults_detected;
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// The pool.
+// ---------------------------------------------------------------------------
+
+SweepReport run_sweep(const SweepOptions& opts) {
+  // Validate here, on the calling thread: a bad grid must surface as one
+  // ContractViolation, not a std::terminate from every worker at once.
+  RTFT_EXPECTS(opts.scenario_count > 0, "sweep needs at least one scenario");
+  RTFT_EXPECTS(opts.grid.cell_count() > 0, "sweep grid must not be empty");
+  RTFT_EXPECTS(opts.horizon_periods > 0, "horizon must cover >= 1 period");
+  RTFT_EXPECTS(opts.allowance_granularity.is_positive(),
+               "allowance granularity must be positive");
+  // Generated sets take unique DM priorities from the RTSJ range, which
+  // bounds the task count.
+  constexpr std::size_t kMaxTasks =
+      static_cast<std::size_t>(sched::kMaxRtPriority - sched::kMinRtPriority) +
+      1;
+  for (const std::size_t n : opts.grid.task_counts)
+    RTFT_EXPECTS(n > 0 && n <= kMaxTasks,
+                 "every swept task count must be in [1, 28] (the RTSJ "
+                 "priority range)");
+  for (const double u : opts.grid.utilizations)
+    RTFT_EXPECTS(u > 0.0, "every swept utilization must be positive");
+  for (const Duration c : opts.grid.detector_costs)
+    RTFT_EXPECTS(!c.is_negative(), "detector cost must be non-negative");
+  RTFT_EXPECTS(opts.grid.min_period.is_positive() &&
+                   opts.grid.max_period >= opts.grid.min_period,
+               "period range must be positive and ordered");
+  SweepOptions resolved = opts;
+  if (resolved.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    resolved.workers = hw == 0 ? 1 : hw;
+  }
+  const std::uint64_t count = resolved.scenario_count;
+  const std::size_t workers = static_cast<std::size_t>(
+      std::min<std::uint64_t>(resolved.workers, count));
+  resolved.workers = workers;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<ScenarioVerdict> verdicts(count);
+  std::atomic<std::uint64_t> next{0};
+  // A throw inside a std::thread body would call std::terminate; capture
+  // the first failure instead, stop handing out work, and rethrow on the
+  // calling thread after the pool has drained.
+  std::atomic<bool> failed{false};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        verdicts[i] = run_scenario(scenario_spec(resolved, i), resolved);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w + 1 < workers; ++w) pool.emplace_back(worker);
+  worker();  // the calling thread participates.
+  for (std::thread& t : pool) t.join();
+  if (failure) std::rethrow_exception(failure);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Serial aggregation in index order: deterministic whatever the
+  // completion order above was.
+  SweepReport report;
+  report.options = resolved;
+  report.cells.resize(resolved.grid.cell_count());
+  std::uint64_t h = kFnvOffset;
+  for (const ScenarioVerdict& v : verdicts) {
+    report.totals.add(v);
+    report.cells[v.cell].agg.add(v);
+    fingerprint_verdict(h, v);
+  }
+  report.fingerprint = h;
+  for (std::uint64_t c = 0; c < report.cells.size(); ++c) {
+    const ScenarioSpec spec = scenario_spec(resolved, c);
+    report.cells[c].task_count = spec.tasks.tasks;
+    report.cells[c].utilization = spec.tasks.total_utilization;
+    report.cells[c].detector_cost = spec.detector_cost;
+  }
+  report.elapsed_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  if (resolved.keep_verdicts) report.verdicts = std::move(verdicts);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+std::string SweepReport::table() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%5s %5s %9s %7s %7s %7s %7s %9s %8s\n",
+                "tasks", "U", "det-cost", "n", "sched", "clean", "agree",
+                "mean-A", "honored");
+  out += line;
+  auto pct = [](std::uint64_t part, std::uint64_t whole) {
+    return whole == 0 ? 0.0
+                      : 100.0 * static_cast<double>(part) /
+                            static_cast<double>(whole);
+  };
+  for (const CellSummary& c : cells) {
+    const SweepAggregate& a = c.agg;
+    std::snprintf(line, sizeof(line),
+                  "%5zu %5.2f %9s %7llu %6.1f%% %6.1f%% %7s %7.2fms %7.1f%%\n",
+                  c.task_count, c.utilization,
+                  to_string(c.detector_cost).c_str(),
+                  static_cast<unsigned long long>(a.total),
+                  pct(a.rta_schedulable, a.total), pct(a.engine_clean, a.total),
+                  a.agreement_violations == 0 ? "yes" : "NO",
+                  a.mean_allowance_ms(),
+                  pct(a.allowance_honored, a.allowance_feasible));
+    out += line;
+  }
+  std::snprintf(
+      line, sizeof(line),
+      "total %llu  schedulable %llu  engine-clean %llu  "
+      "agreement-violations %llu  allowance-honored %llu/%llu\n",
+      static_cast<unsigned long long>(totals.total),
+      static_cast<unsigned long long>(totals.rta_schedulable),
+      static_cast<unsigned long long>(totals.engine_clean),
+      static_cast<unsigned long long>(totals.agreement_violations),
+      static_cast<unsigned long long>(totals.allowance_honored),
+      static_cast<unsigned long long>(totals.allowance_feasible));
+  out += line;
+  return out;
+}
+
+}  // namespace rtft::sweep

@@ -1,0 +1,168 @@
+// Batch scenario sweeps — many task systems through the analyses and the
+// virtual-time engine at once.
+//
+// The paper evaluates one hand-built system (Table 2). This module turns
+// that into a population study in the style of the weakly-hard and
+// multi-task-set evaluation literature: a deterministic generator fans
+// random task systems (UUniFast utilizations, deadline-monotonic
+// priorities) across a parameter grid of task count × utilization ×
+// detector cost, a worker pool runs every scenario through
+//
+//   1. the RTA/feasibility analysis          (schedulable?)
+//   2. a nominal rt::Engine run              (does the engine agree?)
+//   3. the equitable-allowance search plus a faulty run that overruns by
+//      exactly the allowance                 (is the allowance honored?)
+//   4. a detector-loaded run with per-fire CPU cost
+//      (does detection overhead break marginal systems? §6.2)
+//
+// and the per-scenario verdicts are aggregated into grid-cell and total
+// summaries. Results are bitwise deterministic for a given (seed, grid,
+// scenario count) regardless of worker count or thread scheduling: every
+// scenario's verdict is a pure function of its derived seed, and verdicts
+// are stored by scenario index, not completion order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/time.hpp"
+#include "core/treatment.hpp"
+#include "sweep/generators.hpp"
+
+namespace rtft::sweep {
+
+/// The parameter grid a sweep covers. Scenarios are assigned to cells
+/// round-robin by index, so every cell receives an equal share (+/-1) of
+/// the scenario budget in a deterministic order.
+struct SweepGrid {
+  std::vector<std::size_t> task_counts = {3, 5, 8};
+  std::vector<double> utilizations = {0.5, 0.7, 0.9};
+  std::vector<Duration> detector_costs = {Duration::zero()};
+  /// Deadline = period * factor drawn uniformly from this range
+  /// (<= 1: constrained deadlines, the paper's setting).
+  double deadline_min_factor = 0.8;
+  double deadline_max_factor = 1.0;
+  Duration min_period = Duration::ms(10);
+  Duration max_period = Duration::ms(1000);
+
+  [[nodiscard]] std::size_t cell_count() const {
+    return task_counts.size() * utilizations.size() * detector_costs.size();
+  }
+};
+
+/// Everything one worker needs to run one scenario.
+struct ScenarioSpec {
+  std::uint64_t index = 0;  ///< position in the sweep, assigns the cell.
+  std::uint64_t seed = 0;   ///< derived seed; fully determines the task set.
+  std::size_t cell = 0;     ///< flat grid-cell index.
+  RandomTaskSetSpec tasks;
+  Duration detector_cost;
+};
+
+/// Sweep-wide options.
+struct SweepOptions {
+  std::uint64_t scenario_count = 1000;
+  /// Worker threads; 0 means hardware concurrency.
+  std::size_t workers = 4;
+  std::uint64_t base_seed = 42;
+  SweepGrid grid;
+  /// Granularity of the equitable-allowance binary search. Coarser than
+  /// the exact-nanosecond default: a sweep values throughput and only
+  /// needs A to be *a* feasible allowance, not the supremum.
+  Duration allowance_granularity = Duration::us(100);
+  /// Engine window, as a multiple of the set's largest period.
+  std::int64_t horizon_periods = 8;
+  /// Policy armed in the detector-loaded run.
+  core::TreatmentPolicy detector_policy = core::TreatmentPolicy::kDetectOnly;
+  /// Keep the per-scenario verdicts in the report (aggregates are always
+  /// computed). Off saves memory on very large sweeps.
+  bool keep_verdicts = true;
+};
+
+/// Outcome of one scenario. Every field is a pure function of the spec.
+struct ScenarioVerdict {
+  std::uint64_t index = 0;
+  std::uint64_t seed = 0;
+  std::size_t cell = 0;
+  std::size_t task_count = 0;
+  double target_utilization = 0.0;
+  double actual_utilization = 0.0;
+  Duration detector_cost;
+
+  bool rta_schedulable = false;   ///< analysis: every WCRT within deadline.
+  bool engine_clean = false;      ///< nominal run: zero deadline misses.
+  std::int64_t nominal_misses = 0;
+  /// RTA soundness vs the engine: schedulable implies a clean run. (The
+  /// converse may fail — the window is finite and the analysis is
+  /// worst-case — so a clean run of an unschedulable-by-RTA set is fine.)
+  bool agreement = false;
+
+  bool allowance_feasible = false;  ///< feasible at zero inflation.
+  Duration allowance;               ///< equitable A at sweep granularity.
+  /// Faulty run: the highest-priority task overruns job 0 by exactly A;
+  /// honored means still zero misses (§4.2's guarantee).
+  bool allowance_honored = false;
+
+  /// Detector-loaded run with per-fire cost: zero misses?
+  bool detector_clean = false;
+  std::int64_t detector_faults = 0;  ///< faults reported by the detectors.
+};
+
+/// Counting aggregate over a set of verdicts.
+struct SweepAggregate {
+  std::uint64_t total = 0;
+  std::uint64_t rta_schedulable = 0;
+  std::uint64_t engine_clean = 0;
+  std::uint64_t agreement_violations = 0;
+  std::uint64_t allowance_feasible = 0;
+  std::uint64_t allowance_honored = 0;
+  std::uint64_t detector_clean = 0;
+  Duration allowance_sum;  ///< over allowance_feasible scenarios.
+
+  void add(const ScenarioVerdict& v);
+  /// Mean equitable allowance over the feasible scenarios.
+  [[nodiscard]] double mean_allowance_ms() const;
+};
+
+/// Aggregate for one grid cell.
+struct CellSummary {
+  std::size_t task_count = 0;
+  double utilization = 0.0;
+  Duration detector_cost;
+  SweepAggregate agg;
+};
+
+/// Full sweep outcome.
+struct SweepReport {
+  SweepOptions options;  ///< as resolved (workers filled in).
+  SweepAggregate totals;
+  std::vector<CellSummary> cells;        ///< grid order.
+  std::vector<ScenarioVerdict> verdicts; ///< index order; empty unless kept.
+  /// Wall-clock of the sweep, for the CLI's scenarios/s line. Not part of
+  /// the deterministic state.
+  double elapsed_seconds = 0.0;
+  /// FNV-1a hash over every verdict's deterministic fields, in index
+  /// order (computed even when verdicts are not kept). Two runs with
+  /// equal (seed, grid, count) produce equal fingerprints whatever the
+  /// worker count.
+  std::uint64_t fingerprint = 0;
+
+  /// Aligned per-cell summary table plus a totals line.
+  [[nodiscard]] std::string table() const;
+};
+
+/// The spec for scenario `index` of a sweep (pure function of options).
+[[nodiscard]] ScenarioSpec scenario_spec(const SweepOptions& opts,
+                                         std::uint64_t index);
+
+/// Runs one scenario to its verdict (pure; callable from any thread).
+[[nodiscard]] ScenarioVerdict run_scenario(const ScenarioSpec& spec,
+                                           const SweepOptions& opts);
+
+/// Fans `opts.scenario_count` scenarios across `opts.workers` threads and
+/// aggregates. Deterministic for fixed options (minus elapsed_seconds).
+[[nodiscard]] SweepReport run_sweep(const SweepOptions& opts);
+
+}  // namespace rtft::sweep

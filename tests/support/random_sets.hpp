@@ -1,31 +1,16 @@
 // Random task-set construction shared by property tests and benchmarks.
+//
+// The construction itself lives in src/sweep/generators.* so that the
+// sweep engine, the benches and the tests all generate identical systems
+// from identical seeds; this header only re-exports it under the
+// historical test-support names.
 #pragma once
 
-#include <string>
-
-#include "common/random.hpp"
-#include "sched/priority.hpp"
-#include "sched/task.hpp"
+#include "sweep/generators.hpp"
 
 namespace rtft::testsupport {
 
-/// Builds a TaskSet from random parameters with deadline-monotonic
-/// priorities (unique, descending from the RTSJ max).
-inline sched::TaskSet make_random_task_set(Rng& rng,
-                                           const RandomTaskSetSpec& spec) {
-  const auto raw = random_task_set(rng, spec);
-  sched::TaskSet ts;
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    sched::TaskParams p;
-    p.name = "t" + std::to_string(i);
-    p.priority = 0;  // assigned below
-    p.cost = raw[i].cost;
-    p.period = raw[i].period;
-    p.deadline = raw[i].deadline;
-    p.offset = Duration::zero();
-    ts.add(std::move(p));
-  }
-  return sched::with_deadline_monotonic_priorities(ts);
-}
+using rtft::sweep::make_random_task_set;
+using rtft::sweep::make_seeded_task_set;
 
 }  // namespace rtft::testsupport
