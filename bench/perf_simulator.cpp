@@ -1,6 +1,9 @@
 // Microbenchmarks of the virtual-time engine — the substrate that
 // replaces the paper's jRate/TimeSys testbed. Reported as wall time per
 // simulated run; the jobs/second counter gives the engine's throughput.
+//
+// Engines here run with the default (null) sink: these measure execution
+// alone. perf_trace_sink measures what each observation mode adds.
 #include <benchmark/benchmark.h>
 
 #include "core/ft_system.hpp"

@@ -10,6 +10,7 @@
 #include "sched/format.hpp"
 #include "sched/response_time.hpp"
 #include "sched/utilization.hpp"
+#include "trace/recorder.hpp"
 
 int main() {
   using namespace rtft;
@@ -37,15 +38,17 @@ int main() {
               static_cast<long long>(rta.worst_job));
 
   std::puts("cross-check — simulated responses over one hyperperiod:");
+  trace::Recorder recorder;
   rt::EngineOptions engine_opts;
   engine_opts.horizon = Instant::epoch() + 12_ms;  // lcm(6, 4)
+  engine_opts.sink = &recorder;
   rt::Engine engine(engine_opts);
   engine.add_task(ts[0]);
   const rt::TaskHandle tau2 = engine.add_task(ts[1]);
   engine.run();
   int failures = 0;
   std::size_t k = 0;
-  for (const auto& e : engine.recorder().events()) {
+  for (const auto& e : recorder.events()) {
     if (e.kind == trace::EventKind::kJobEnd &&
         e.task == static_cast<std::uint32_t>(tau2)) {
       const Duration simulated = Duration::ns(e.detail);

@@ -4,12 +4,16 @@
 //   sweep_runner [--scenarios N] [--workers W] [--seed S]
 //                [--tasks n1,n2,...] [--util u1,u2,...]
 //                [--detector-cost-us c1,c2,...] [--horizon-periods K]
-//                [--verdicts]
+//                [--verdicts] [--full-traces]
+//                [--csv FILE] [--cells-csv FILE] [--json FILE]
 //
 // Defaults run 1000 scenarios on 4 workers over the default grid
 // (3/5/8 tasks x U 0.5/0.7/0.9 x free detectors). The summary ends with a
 // deterministic fingerprint: identical arguments reproduce it bit-for-bit
 // whatever the worker count.
+//
+// --csv exports one row per scenario verdict, --cells-csv one row per
+// grid cell, --json the whole report; "-" writes to stdout.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "common/strings.hpp"
+#include "sweep/export.hpp"
 #include "sweep/sweep.hpp"
 
 namespace {
@@ -29,9 +34,35 @@ using namespace rtft;
       "usage: %s [--scenarios N] [--workers W] [--seed S]\n"
       "          [--tasks n1,n2,...] [--util u1,u2,...]\n"
       "          [--detector-cost-us c1,c2,...] [--horizon-periods K]\n"
-      "          [--verdicts]\n",
+      "          [--verdicts] [--full-traces]\n"
+      "          [--csv FILE] [--cells-csv FILE] [--json FILE]\n",
       argv0);
   std::exit(2);
+}
+
+/// Writes `content` to `path` ("-" = stdout); exits 2 on I/O failure.
+void write_file(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    if (std::fwrite(content.data(), 1, content.size(), stdout) !=
+        content.size()) {
+      std::fprintf(stderr, "error: short write to stdout\n");
+      std::exit(2);
+    }
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  const bool wrote_all =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool closed = std::fclose(f) == 0;  // always close, even on failure
+  if (!wrote_all || !closed) {
+    std::fprintf(stderr, "error: short write to '%s'\n", path.c_str());
+    std::exit(2);
+  }
 }
 
 [[noreturn]] void bad_value(const char* flag, std::string_view value) {
@@ -57,6 +88,9 @@ double parse_real(const char* flag, std::string_view value) {
 int main(int argc, char** argv) {
   sweep::SweepOptions opts;
   bool print_verdicts = false;
+  std::string csv_path;
+  std::string cells_csv_path;
+  std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,6 +129,14 @@ int main(int argc, char** argv) {
       opts.horizon_periods = parse_count("--horizon-periods", value());
     } else if (arg == "--verdicts") {
       print_verdicts = true;
+    } else if (arg == "--full-traces") {
+      opts.full_traces = true;
+    } else if (arg == "--csv") {
+      csv_path = value();
+    } else if (arg == "--cells-csv") {
+      cells_csv_path = value();
+    } else if (arg == "--json") {
+      json_path = value();
     } else {
       usage(argv[0]);
     }
@@ -122,6 +164,12 @@ int main(int argc, char** argv) {
                   (report.elapsed_seconds > 0 ? report.elapsed_seconds : 1.0));
   std::printf("fingerprint %016llx\n",
               static_cast<unsigned long long>(report.fingerprint));
+
+  if (!csv_path.empty()) write_file(csv_path, sweep::verdicts_csv(report));
+  if (!cells_csv_path.empty()) {
+    write_file(cells_csv_path, sweep::cells_csv(report));
+  }
+  if (!json_path.empty()) write_file(json_path, sweep::report_json(report));
 
   if (print_verdicts) {
     std::puts("\nindex seed             tasks U     sched clean agree A(ms)");

@@ -39,6 +39,12 @@ RunReport FaultTolerantSystem::run() {
   engine_opts.horizon = Instant::epoch() + config_.horizon;
   engine_opts.stop_poll_latency = config_.stop_poll_latency;
   engine_opts.context_switch_cost = config_.context_switch_cost;
+  if (config_.sink != nullptr) {
+    engine_opts.sink = config_.sink;
+  } else {
+    owned_recorder_ = std::make_unique<trace::Recorder>();
+    engine_opts.sink = owned_recorder_.get();
+  }
   engine_ = std::make_unique<rt::Engine>(engine_opts);
 
   std::vector<rt::TaskHandle> handles;
@@ -81,15 +87,13 @@ RunReport FaultTolerantSystem::run() {
 TreatmentPlan FaultTolerantSystem::make_treatment_plan_or_detect_only() {
   // Threshold-bearing policies require feasibility; when the system is
   // infeasible the plan degrades to "no detection" so the report can
-  // still describe the refused run.
-  if (config_.policy != TreatmentPolicy::kNoDetection &&
-      !sched::is_feasible(config_.tasks, config_.allowance.rta)) {
-    TreatmentPlan plan;
-    plan.policy = config_.policy;
-    return plan;
-  }
-  return make_treatment_plan(config_.tasks, config_.policy,
-                             config_.allowance);
+  // still describe the refused run. (`||` keeps the kNoDetection path
+  // from paying the feasibility analysis.)
+  const bool feasible =
+      config_.policy == TreatmentPolicy::kNoDetection ||
+      sched::is_feasible(config_.tasks, config_.allowance.rta);
+  return make_treatment_plan_or_degrade(config_.tasks, config_.policy,
+                                        feasible, config_.allowance);
 }
 
 const rt::Engine& FaultTolerantSystem::engine() const {
@@ -98,7 +102,11 @@ const rt::Engine& FaultTolerantSystem::engine() const {
 }
 
 const trace::Recorder& FaultTolerantSystem::recorder() const {
-  return engine().recorder();
+  RTFT_EXPECTS(owned_recorder_ != nullptr,
+               config_.sink != nullptr
+                   ? "recorder(): events went to the configured sink"
+                   : "recorder(): run() has not executed the system");
+  return *owned_recorder_;
 }
 
 std::int64_t RunReport::total_misses() const {

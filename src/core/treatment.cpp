@@ -82,4 +82,15 @@ TreatmentPlan make_treatment_plan(const sched::TaskSet& ts,
   return plan;
 }
 
+TreatmentPlan make_treatment_plan_or_degrade(
+    const sched::TaskSet& ts, TreatmentPolicy policy, bool feasible,
+    const sched::AllowanceOptions& opts) {
+  if (policy != TreatmentPolicy::kNoDetection && !feasible) {
+    TreatmentPlan plan;
+    plan.policy = policy;
+    return plan;
+  }
+  return make_treatment_plan(ts, policy, opts);
+}
+
 }  // namespace rtft::core

@@ -72,4 +72,13 @@ struct TreatmentPlan {
     const sched::TaskSet& ts, TreatmentPolicy policy,
     const sched::AllowanceOptions& opts = {});
 
+/// Like make_treatment_plan, but degrades to a detection-less plan (the
+/// policy is kept for reporting) instead of throwing when the set is
+/// infeasible. `feasible` is the caller's already-computed feasibility
+/// verdict for `ts` — both FaultTolerantSystem and the sweep have it in
+/// hand, and sharing the rule here keeps their degradation identical.
+[[nodiscard]] TreatmentPlan make_treatment_plan_or_degrade(
+    const sched::TaskSet& ts, TreatmentPolicy policy, bool feasible,
+    const sched::AllowanceOptions& opts = {});
+
 }  // namespace rtft::core

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "runtime/event_heap.hpp"
 
 namespace rtft::rt {
 namespace {
@@ -28,11 +29,12 @@ struct Ev {
   StopMode stop_mode = StopMode::kTask;
 };
 
-struct EvLater {
+/// Dispatch order: (time, kind, seq) — total, since seq is unique.
+struct EvEarlier {
   bool operator()(const Ev& a, const Ev& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    if (a.kind != b.kind) return a.kind > b.kind;
-    return a.seq > b.seq;
+    if (a.time != b.time) return a.time < b.time;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.seq < b.seq;
   }
 };
 
@@ -73,10 +75,12 @@ struct TimerRec {
 
 struct Engine::Impl {
   EngineOptions options;
-  trace::Recorder recorder;
-  std::priority_queue<Ev, std::vector<Ev>, EvLater> queue;
-  std::vector<TaskRec> tasks;
-  std::vector<TimerRec> timers;
+  trace::Sink* sink = &trace::NullSink::instance();
+  PooledEventHeap<Ev, EvEarlier> queue;
+  std::vector<TaskRec> tasks;   ///< slots; [0, n_tasks) are live.
+  std::vector<TimerRec> timers; ///< slots; [0, n_timers) are live.
+  std::size_t n_tasks = 0;
+  std::size_t n_timers = 0;
 
   Instant now = Instant::epoch();
   std::uint64_t next_seq = 0;
@@ -96,8 +100,34 @@ struct Engine::Impl {
   std::size_t charged_task = 0;
   std::int64_t charged_index = -1;
 
-  explicit Impl(EngineOptions opts)
-      : options(opts), recorder(opts.recorder_reserve) {}
+  /// Restores pristine pre-run state; keeps slot and pool capacity.
+  void rearm(EngineOptions opts) {
+    options = opts;
+    sink = opts.sink != nullptr ? opts.sink : &trace::NullSink::instance();
+    queue.clear();
+    // Drop the closures of the previous run now: a shrinking follow-up
+    // run would otherwise pin their captured state in unused slots.
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      tasks[i].cost_model = nullptr;
+      tasks[i].callbacks = {};
+    }
+    for (std::size_t i = 0; i < n_timers; ++i) timers[i].handler = nullptr;
+    n_tasks = 0;
+    n_timers = 0;
+    now = Instant::epoch();
+    next_seq = 0;
+    next_ready_seq = 0;
+    cpu = CpuState::kIdle;
+    running_task = 0;
+    overhead_backlog = Duration::zero();
+    overhead_gen = 0;
+    have_last_job = false;
+    last_job_task = 0;
+    last_job_index = -1;
+    have_charged_job = false;
+    charged_task = 0;
+    charged_index = -1;
+  }
 
   // -- helpers ------------------------------------------------------------
 
@@ -153,9 +183,9 @@ struct Engine::Impl {
     t.cur_release = release_date(t, index);
     t.remaining = actual_cost(t, index);
     if (t.remaining != t.params.cost) {
-      recorder.record(now, trace::EventKind::kOverrunInjected,
-                      trace_id(task_idx), index,
-                      (t.remaining - t.params.cost).count());
+      sink->record(now, trace::EventKind::kOverrunInjected,
+                   trace_id(task_idx), index,
+                   (t.remaining - t.params.cost).count());
     }
     t.cur_started = false;
     t.ready_seq = next_ready_seq++;
@@ -169,10 +199,10 @@ struct Engine::Impl {
     RTFT_ASSERT(t.has_current, "no current job to retire");
     const std::int64_t index = t.cur_index;
     t.outcomes[static_cast<std::size_t>(index)] = outcome;
-    recorder.record(now, record_kind, trace_id(task_idx), index,
-                    outcome == JobOutcome::kCompleted
-                        ? (now - t.cur_release).count()
-                        : 0);
+    sink->record(now, record_kind, trace_id(task_idx), index,
+                 outcome == JobOutcome::kCompleted
+                     ? (now - t.cur_release).count()
+                     : 0);
     if (cpu == CpuState::kTask && running_task == task_idx) {
       cpu = CpuState::kIdle;  // reschedule() will pick the next activity.
     }
@@ -184,7 +214,7 @@ struct Engine::Impl {
   /// Picks the highest-priority ready job, returns false if none.
   bool pick_top_task(std::size_t& out) const {
     bool found = false;
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (std::size_t i = 0; i < n_tasks; ++i) {
       const TaskRec& t = tasks[i];
       if (!t.has_current || t.stopped) continue;
       if (!found) {
@@ -260,10 +290,10 @@ struct Engine::Impl {
     cpu = CpuState::kTask;
     running_task = top;
     TaskRec& t = tasks[top];
-    recorder.record(now,
-                    t.cur_started ? trace::EventKind::kJobResumed
-                                  : trace::EventKind::kJobStart,
-                    trace_id(top), t.cur_index, 0);
+    sink->record(now,
+                 t.cur_started ? trace::EventKind::kJobResumed
+                               : trace::EventKind::kJobStart,
+                 trace_id(top), t.cur_index, 0);
     if (!t.cur_started) {
       t.cur_started = true;
       if (t.callbacks.on_job_begin) {
@@ -283,8 +313,8 @@ struct Engine::Impl {
   void preempt_running_job() {
     if (cpu == CpuState::kTask) {
       TaskRec& t = tasks[running_task];
-      recorder.record(now, trace::EventKind::kJobPreempted,
-                      trace_id(running_task), t.cur_index, 0);
+      sink->record(now, trace::EventKind::kJobPreempted,
+                   trace_id(running_task), t.cur_index, 0);
       t.gen++;  // invalidate its scheduled completion
       cpu = CpuState::kIdle;
     }
@@ -314,8 +344,8 @@ struct Engine::Impl {
     t.next_release_index++;
     t.outcomes.push_back(JobOutcome::kPending);
     t.stats.released++;
-    recorder.record(now, trace::EventKind::kJobRelease, trace_id(ev.index),
-                    index, 0);
+    sink->record(now, trace::EventKind::kJobRelease, trace_id(ev.index),
+                 index, 0);
     push(Ev{now + t.params.deadline, EvKind::kDeadlineCheck, 0, ev.index,
             index, 0, StopMode::kTask});
     // Schedule the following release (one outstanding per task).
@@ -351,8 +381,8 @@ struct Engine::Impl {
   void on_timer(const Ev& ev) {
     TimerRec& timer = timers[ev.index];
     if (timer.cancelled) return;
-    recorder.record(now, trace::EventKind::kTimerFire, trace::kNoTask,
-                    trace::kNoJob, static_cast<std::int64_t>(ev.index));
+    sink->record(now, trace::EventKind::kTimerFire, trace::kNoTask,
+                 trace::kNoJob, static_cast<std::int64_t>(ev.index));
     if (timer.periodic) {
       push(Ev{now + timer.period, EvKind::kTimer, 0, ev.index, -1, 0,
               StopMode::kTask});
@@ -367,8 +397,8 @@ struct Engine::Impl {
     if (ev.stop_mode == StopMode::kTask) {
       t.stopped = true;
       t.stats.stopped = true;
-      recorder.record(now, trace::EventKind::kTaskStopped, trace_id(ev.index),
-                      t.has_current ? t.cur_index : trace::kNoJob, 0);
+      sink->record(now, trace::EventKind::kTaskStopped, trace_id(ev.index),
+                   t.has_current ? t.cur_index : trace::kNoJob, 0);
       if (t.has_current) {
         t.stats.aborted++;
         retire_current_job(ev.index, JobOutcome::kAborted,
@@ -398,8 +428,8 @@ struct Engine::Impl {
     RTFT_ASSERT(idx < t.outcomes.size(), "deadline check for unreleased job");
     if (t.outcomes[idx] != JobOutcome::kCompleted) {
       t.stats.missed++;
-      recorder.record(now, trace::EventKind::kDeadlineMiss, trace_id(ev.index),
-                      ev.job, 0);
+      sink->record(now, trace::EventKind::kDeadlineMiss, trace_id(ev.index),
+                   ev.job, 0);
     }
   }
 
@@ -430,18 +460,31 @@ struct Engine::Impl {
   Engine* owner = nullptr;  ///< back-pointer for handler invocation.
 };
 
-Engine::Engine(EngineOptions options)
-    : impl_(std::make_unique<Impl>(options)) {
+namespace {
+
+void validate_options(const EngineOptions& options) {
   RTFT_EXPECTS(options.horizon > Instant::epoch(),
                "engine horizon must be positive");
   RTFT_EXPECTS(!options.stop_poll_latency.is_negative(),
                "stop poll latency must be non-negative");
   RTFT_EXPECTS(!options.context_switch_cost.is_negative(),
                "context switch cost must be non-negative");
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) : impl_(std::make_unique<Impl>()) {
+  validate_options(options);
+  impl_->rearm(options);
   impl_->owner = this;
 }
 
 Engine::~Engine() = default;
+
+void Engine::reset(EngineOptions options) {
+  validate_options(options);
+  impl_->rearm(options);
+}
 
 TaskHandle Engine::add_task(const sched::TaskParams& params, CostModel cost,
                             TaskCallbacks callbacks, Instant start) {
@@ -449,24 +492,33 @@ TaskHandle Engine::add_task(const sched::TaskParams& params, CostModel cost,
   const Instant first_release = start + params.offset;
   RTFT_EXPECTS(first_release >= impl_->now,
                "task '" + params.name + "': first release lies in the past");
-  TaskRec rec;
+  Impl& im = *impl_;
+  if (im.n_tasks == im.tasks.size()) im.tasks.emplace_back();
+  TaskRec& rec = im.tasks[im.n_tasks];
+  // Reset the reused slot by construction (future TaskRec fields cannot
+  // leak across runs), keeping only the outcomes vector's capacity.
+  std::vector<JobOutcome> outcomes = std::move(rec.outcomes);
+  outcomes.clear();
+  rec = TaskRec{};
+  rec.outcomes = std::move(outcomes);
   rec.params = params;
   rec.cost_model = std::move(cost);
   rec.callbacks = std::move(callbacks);
   rec.start = start;
-  impl_->tasks.push_back(std::move(rec));
-  const TaskHandle handle = impl_->tasks.size() - 1;
-  impl_->push(Ev{first_release, EvKind::kRelease, 0, handle, 0, 0,
-                 StopMode::kTask});
+  const TaskHandle handle = im.n_tasks++;
+  im.push(Ev{first_release, EvKind::kRelease, 0, handle, 0, 0,
+             StopMode::kTask});
   return handle;
 }
 
 TimerHandle Engine::add_one_shot_timer(Instant when, TimerHandler handler) {
   RTFT_EXPECTS(when >= impl_->now, "timer date lies in the past");
-  impl_->timers.push_back(TimerRec{std::move(handler), Duration::zero(),
-                                   false, false});
-  const TimerHandle handle = impl_->timers.size() - 1;
-  impl_->push(Ev{when, EvKind::kTimer, 0, handle, -1, 0, StopMode::kTask});
+  Impl& im = *impl_;
+  if (im.n_timers == im.timers.size()) im.timers.emplace_back();
+  im.timers[im.n_timers] =
+      TimerRec{std::move(handler), Duration::zero(), false, false};
+  const TimerHandle handle = im.n_timers++;
+  im.push(Ev{when, EvKind::kTimer, 0, handle, -1, 0, StopMode::kTask});
   return handle;
 }
 
@@ -474,27 +526,28 @@ TimerHandle Engine::add_periodic_timer(Instant first, Duration period,
                                        TimerHandler handler) {
   RTFT_EXPECTS(first >= impl_->now, "timer date lies in the past");
   RTFT_EXPECTS(period.is_positive(), "timer period must be positive");
-  impl_->timers.push_back(
-      TimerRec{std::move(handler), period, true, false});
-  const TimerHandle handle = impl_->timers.size() - 1;
-  impl_->push(Ev{first, EvKind::kTimer, 0, handle, -1, 0, StopMode::kTask});
+  Impl& im = *impl_;
+  if (im.n_timers == im.timers.size()) im.timers.emplace_back();
+  im.timers[im.n_timers] = TimerRec{std::move(handler), period, true, false};
+  const TimerHandle handle = im.n_timers++;
+  im.push(Ev{first, EvKind::kTimer, 0, handle, -1, 0, StopMode::kTask});
   return handle;
 }
 
 void Engine::cancel_timer(TimerHandle timer) {
-  RTFT_EXPECTS(timer < impl_->timers.size(), "timer handle out of range");
+  RTFT_EXPECTS(timer < impl_->n_timers, "timer handle out of range");
   impl_->timers[timer].cancelled = true;
 }
 
 void Engine::request_stop(TaskHandle task, StopMode mode,
                           Duration extra_latency) {
-  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  RTFT_EXPECTS(task < impl_->n_tasks, "task handle out of range");
   RTFT_EXPECTS(!extra_latency.is_negative(), "latency must be non-negative");
   TaskRec& t = impl_->tasks[task];
   if (t.stopped) return;
-  impl_->recorder.record(impl_->now, trace::EventKind::kStopRequested,
-                         impl_->trace_id(task),
-                         t.has_current ? t.cur_index : trace::kNoJob, 0);
+  impl_->sink->record(impl_->now, trace::EventKind::kStopRequested,
+                      impl_->trace_id(task),
+                      t.has_current ? t.cur_index : trace::kNoJob, 0);
   t.stop_in_flight = true;
   impl_->push(Ev{impl_->now + impl_->options.stop_poll_latency + extra_latency,
                  EvKind::kStopEffect, 0, task, -1, 0, mode});
@@ -511,26 +564,26 @@ void Engine::run_until(Instant stop_at) { impl_->run_until(stop_at); }
 
 Instant Engine::now() const { return impl_->now; }
 Instant Engine::horizon() const { return impl_->options.horizon; }
-std::size_t Engine::task_count() const { return impl_->tasks.size(); }
+std::size_t Engine::task_count() const { return impl_->n_tasks; }
 
 const sched::TaskParams& Engine::params(TaskHandle task) const {
-  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  RTFT_EXPECTS(task < impl_->n_tasks, "task handle out of range");
   return impl_->tasks[task].params;
 }
 
 Instant Engine::first_release(TaskHandle task) const {
-  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  RTFT_EXPECTS(task < impl_->n_tasks, "task handle out of range");
   const TaskRec& t = impl_->tasks[task];
   return t.start + t.params.offset;
 }
 
 const TaskStats& Engine::stats(TaskHandle task) const {
-  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  RTFT_EXPECTS(task < impl_->n_tasks, "task handle out of range");
   return impl_->tasks[task].stats;
 }
 
 JobOutcome Engine::job_outcome(TaskHandle task, std::int64_t job_index) const {
-  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  RTFT_EXPECTS(task < impl_->n_tasks, "task handle out of range");
   const TaskRec& t = impl_->tasks[task];
   RTFT_EXPECTS(job_index >= 0 &&
                    static_cast<std::size_t>(job_index) < t.outcomes.size(),
@@ -539,7 +592,7 @@ JobOutcome Engine::job_outcome(TaskHandle task, std::int64_t job_index) const {
 }
 
 bool Engine::job_completed(TaskHandle task, std::int64_t job_index) const {
-  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  RTFT_EXPECTS(task < impl_->n_tasks, "task handle out of range");
   const TaskRec& t = impl_->tasks[task];
   if (job_index < 0 ||
       static_cast<std::size_t>(job_index) >= t.outcomes.size()) {
@@ -550,11 +603,10 @@ bool Engine::job_completed(TaskHandle task, std::int64_t job_index) const {
 }
 
 std::int64_t Engine::jobs_released(TaskHandle task) const {
-  RTFT_EXPECTS(task < impl_->tasks.size(), "task handle out of range");
+  RTFT_EXPECTS(task < impl_->n_tasks, "task handle out of range");
   return impl_->tasks[task].stats.released;
 }
 
-trace::Recorder& Engine::recorder() { return impl_->recorder; }
-const trace::Recorder& Engine::recorder() const { return impl_->recorder; }
+trace::Sink& Engine::sink() const { return *impl_->sink; }
 
 }  // namespace rtft::rt

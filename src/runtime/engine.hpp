@@ -17,6 +17,11 @@
 //   * timers whose handlers run at their fire date in zero virtual time,
 //   * nanosecond bookkeeping of releases, completions, deadline misses.
 //
+// Observation is decoupled from execution (§5's discipline, generalized):
+// the engine writes events through a borrowed trace::Sink and never owns
+// a trace buffer. Pass a trace::Recorder for full-fidelity traces, a
+// trace::CountingSink for counters only, or nothing to discard events.
+//
 // Determinism: simultaneous events are ordered Completion < OverheadDone <
 // StopEffect < Timer < Release < DeadlineCheck, then by creation sequence.
 // A job completing exactly when a detector fires is therefore observed as
@@ -28,12 +33,11 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "common/time.hpp"
 #include "sched/task.hpp"
-#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
 
 namespace rtft::rt {
 
@@ -94,8 +98,9 @@ struct EngineOptions {
   /// CPU cost charged when the processor switches to a different job
   /// (ablation knob for the §6.2 overhead discussion; default free).
   Duration context_switch_cost = Duration::zero();
-  /// Trace buffer preallocation.
-  std::size_t recorder_reserve = std::size_t{1} << 16;
+  /// Where trace events go. Borrowed: must outlive the engine (or its
+  /// next reset()). Null discards every event.
+  trace::Sink* sink = nullptr;
 };
 
 /// The discrete-event engine. Single-threaded; not copyable.
@@ -105,6 +110,12 @@ class Engine {
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// Re-arms the engine for a fresh run under new options: forgets every
+  /// task, timer, queued event and statistic while keeping the event
+  /// pool, task slots and per-task vectors allocated, so one engine can
+  /// execute thousands of scenarios without per-run allocation.
+  void reset(EngineOptions options);
 
   /// Registers a periodic task. First release at `start + params.offset`
   /// (which must not lie in the past). May be called while the engine is
@@ -153,8 +164,9 @@ class Engine {
   /// Number of jobs released so far.
   [[nodiscard]] std::int64_t jobs_released(TaskHandle task) const;
 
-  [[nodiscard]] trace::Recorder& recorder();
-  [[nodiscard]] const trace::Recorder& recorder() const;
+  /// The sink this engine records through (a NullSink when none was
+  /// configured). Detectors and treatments record through this too.
+  [[nodiscard]] trace::Sink& sink() const;
 
  private:
   struct Impl;

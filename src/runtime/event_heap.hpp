@@ -1,0 +1,104 @@
+// Index-based binary min-heap over a pooled event store.
+//
+// std::priority_queue over a by-value vector moves whole events on every
+// sift; at the engine's event sizes that is most of the queue cost, and
+// the vector is torn down with the engine. This heap keeps events in
+// stable pool slots recycled through a free list and sifts 4-byte slot
+// indices instead, and clear() retains every buffer's capacity so one
+// queue can serve thousands of scenario runs without reallocation.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rtft::rt {
+
+/// `Earlier(a, b)` returns true when `a` must be dispatched before `b`;
+/// it must induce a strict weak ordering (the engine's is total, via a
+/// unique creation sequence number).
+template <typename Event, typename Earlier>
+class PooledEventHeap {
+ public:
+  void reserve(std::size_t n) {
+    pool_.reserve(n);
+    heap_.reserve(n);
+    free_.reserve(n);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// The earliest event. Valid until the next push/pop/clear.
+  [[nodiscard]] const Event& top() const {
+    RTFT_ASSERT(!heap_.empty(), "top() on an empty event heap");
+    return pool_[heap_.front()];
+  }
+
+  void push(Event event) {
+    std::uint32_t slot;
+    if (free_.empty()) {
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(std::move(event));
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+      pool_[slot] = std::move(event);
+    }
+    heap_.push_back(slot);
+    sift_up(heap_.size() - 1);
+  }
+
+  void pop() {
+    RTFT_ASSERT(!heap_.empty(), "pop() on an empty event heap");
+    free_.push_back(heap_.front());
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  /// Empties the heap; pool, heap and free-list capacity is retained.
+  void clear() {
+    heap_.clear();
+    pool_.clear();
+    free_.clear();
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    const std::uint32_t slot = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!earlier_(pool_[slot], pool_[heap_[parent]])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = slot;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::uint32_t slot = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n &&
+          earlier_(pool_[heap_[child + 1]], pool_[heap_[child]])) {
+        ++child;
+      }
+      if (!earlier_(pool_[heap_[child]], pool_[slot])) break;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = slot;
+  }
+
+  Earlier earlier_{};
+  std::vector<Event> pool_;           ///< stable event slots.
+  std::vector<std::uint32_t> heap_;   ///< heap-ordered slot indices.
+  std::vector<std::uint32_t> free_;   ///< recycled slots.
+};
+
+}  // namespace rtft::rt

@@ -1,0 +1,136 @@
+#include "sweep/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace rtft::sweep {
+namespace {
+
+void appendf(std::string& out, const char* fmt, auto... args) {
+  // Large enough for the widest verdict row (16 fields, several %.17g).
+  char buf[1024];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  RTFT_ASSERT(n >= 0 && static_cast<std::size_t>(n) < sizeof(buf),
+              "export row exceeds the format buffer");
+  out += buf;
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  appendf(out, "%016" PRIx64, v);
+}
+
+const char* b(bool v) { return v ? "1" : "0"; }
+
+void append_aggregate_json(std::string& out, const SweepAggregate& a) {
+  appendf(out,
+          "{\"total\":%" PRIu64 ",\"rta_schedulable\":%" PRIu64
+          ",\"engine_clean\":%" PRIu64 ",\"agreement_violations\":%" PRIu64
+          ",\"allowance_feasible\":%" PRIu64 ",\"allowance_honored\":%" PRIu64
+          ",\"detector_clean\":%" PRIu64 ",\"allowance_sum_ns\":%" PRId64
+          ",\"mean_allowance_ms\":%.17g}",
+          a.total, a.rta_schedulable, a.engine_clean, a.agreement_violations,
+          a.allowance_feasible, a.allowance_honored, a.detector_clean,
+          a.allowance_sum.count(), a.mean_allowance_ms());
+}
+
+}  // namespace
+
+std::string verdicts_csv(const SweepReport& report) {
+  std::string out =
+      "index,seed,cell,tasks,target_utilization,actual_utilization,"
+      "detector_cost_ns,rta_schedulable,engine_clean,nominal_misses,"
+      "agreement,allowance_feasible,allowance_ns,allowance_honored,"
+      "detector_clean,detector_faults\n";
+  for (const ScenarioVerdict& v : report.verdicts) {
+    appendf(out, "%" PRIu64 ",", v.index);
+    append_hex(out, v.seed);
+    appendf(out,
+            ",%zu,%zu,%.17g,%.17g,%" PRId64 ",%s,%s,%" PRId64
+            ",%s,%s,%" PRId64 ",%s,%s,%" PRId64 "\n",
+            v.cell, v.task_count, v.target_utilization, v.actual_utilization,
+            v.detector_cost.count(), b(v.rta_schedulable), b(v.engine_clean),
+            v.nominal_misses, b(v.agreement), b(v.allowance_feasible),
+            v.allowance.count(), b(v.allowance_honored), b(v.detector_clean),
+            v.detector_faults);
+  }
+  return out;
+}
+
+std::string cells_csv(const SweepReport& report) {
+  std::string out =
+      "cell,tasks,utilization,detector_cost_ns,total,rta_schedulable,"
+      "engine_clean,agreement_violations,allowance_feasible,"
+      "allowance_honored,detector_clean,mean_allowance_ms\n";
+  for (std::size_t c = 0; c < report.cells.size(); ++c) {
+    const CellSummary& cell = report.cells[c];
+    const SweepAggregate& a = cell.agg;
+    appendf(out,
+            "%zu,%zu,%.17g,%" PRId64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+            ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.17g\n",
+            c, cell.task_count, cell.utilization, cell.detector_cost.count(),
+            a.total, a.rta_schedulable, a.engine_clean,
+            a.agreement_violations, a.allowance_feasible, a.allowance_honored,
+            a.detector_clean, a.mean_allowance_ms());
+  }
+  return out;
+}
+
+std::string report_json(const SweepReport& report) {
+  const SweepOptions& o = report.options;
+  std::string out = "{\n  \"options\": ";
+  appendf(out,
+          "{\"scenario_count\":%" PRIu64 ",\"workers\":%zu,\"base_seed\":\"",
+          o.scenario_count, o.workers);
+  append_hex(out, o.base_seed);
+  appendf(out,
+          "\",\"horizon_periods\":%" PRId64
+          ",\"allowance_granularity_ns\":%" PRId64
+          ",\"keep_verdicts\":%s,\"full_traces\":%s},\n",
+          o.horizon_periods, o.allowance_granularity.count(),
+          o.keep_verdicts ? "true" : "false",
+          o.full_traces ? "true" : "false");
+  out += "  \"totals\": ";
+  append_aggregate_json(out, report.totals);
+  out += ",\n  \"cells\": [";
+  for (std::size_t c = 0; c < report.cells.size(); ++c) {
+    const CellSummary& cell = report.cells[c];
+    if (c > 0) out += ',';
+    appendf(out,
+            "\n    {\"cell\":%zu,\"tasks\":%zu,\"utilization\":%.17g,"
+            "\"detector_cost_ns\":%" PRId64 ",\"aggregate\":",
+            c, cell.task_count, cell.utilization, cell.detector_cost.count());
+    append_aggregate_json(out, cell.agg);
+    out += '}';
+  }
+  out += "\n  ],\n  \"verdicts\": [";
+  for (std::size_t i = 0; i < report.verdicts.size(); ++i) {
+    const ScenarioVerdict& v = report.verdicts[i];
+    if (i > 0) out += ',';
+    appendf(out, "\n    {\"index\":%" PRIu64 ",\"seed\":\"", v.index);
+    append_hex(out, v.seed);
+    appendf(out,
+            "\",\"cell\":%zu,\"tasks\":%zu,\"actual_utilization\":%.17g,"
+            "\"detector_cost_ns\":%" PRId64 ",\"rta_schedulable\":%s,"
+            "\"engine_clean\":%s,\"nominal_misses\":%" PRId64
+            ",\"agreement\":%s,\"allowance_feasible\":%s,"
+            "\"allowance_ns\":%" PRId64 ",\"allowance_honored\":%s,"
+            "\"detector_clean\":%s,\"detector_faults\":%" PRId64 "}",
+            v.cell, v.task_count, v.actual_utilization,
+            v.detector_cost.count(), v.rta_schedulable ? "true" : "false",
+            v.engine_clean ? "true" : "false", v.nominal_misses,
+            v.agreement ? "true" : "false",
+            v.allowance_feasible ? "true" : "false", v.allowance.count(),
+            v.allowance_honored ? "true" : "false",
+            v.detector_clean ? "true" : "false", v.detector_faults);
+  }
+  out += "\n  ],\n  \"elapsed_seconds\": ";
+  appendf(out, "%.17g", report.elapsed_seconds);
+  out += ",\n  \"fingerprint\": \"";
+  append_hex(out, report.fingerprint);
+  out += "\"\n}\n";
+  return out;
+}
+
+}  // namespace rtft::sweep

@@ -1,0 +1,31 @@
+// SweepReport export — machine-readable forms for plotting pipelines
+// (ROADMAP: "CSV/JSON export for plotting").
+//
+// Two CSV granularities plus one self-describing JSON document:
+//
+//   verdicts_csv — one row per kept scenario verdict (the plotting data:
+//                  schedulability and allowance outcomes per scenario);
+//   cells_csv    — one row per grid cell with aggregate counters;
+//   report_json  — options, totals, cells, kept verdicts, fingerprint.
+//
+// 64-bit seeds and the fingerprint are emitted as hex strings: JSON
+// numbers lose integer precision beyond 2^53.
+#pragma once
+
+#include <string>
+
+#include "sweep/sweep.hpp"
+
+namespace rtft::sweep {
+
+/// One row per kept verdict, in index order. Header-only when the sweep
+/// ran with keep_verdicts=false.
+[[nodiscard]] std::string verdicts_csv(const SweepReport& report);
+
+/// One row per grid cell with its aggregate counters, in grid order.
+[[nodiscard]] std::string cells_csv(const SweepReport& report);
+
+/// The whole report as one JSON document.
+[[nodiscard]] std::string report_json(const SweepReport& report);
+
+}  // namespace rtft::sweep

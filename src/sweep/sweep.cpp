@@ -12,8 +12,9 @@
 #include <utility>
 
 #include "common/assert.hpp"
-#include "core/ft_system.hpp"
+#include "core/detector.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/quantize.hpp"
 #include "sched/allowance.hpp"
 #include "sched/feasibility.hpp"
 #include "sched/priority.hpp"
@@ -67,32 +68,6 @@ Duration max_period(const sched::TaskSet& ts) {
   Duration m = Duration::zero();
   for (const auto& t : ts) m = std::max(m, t.period);
   return m;
-}
-
-/// Runs `ts` on a bare engine over `horizon`; `faulty` (if valid) gets
-/// `extra` added to the cost of its job 0. Returns total deadline misses.
-std::int64_t engine_misses(const sched::TaskSet& ts, Duration horizon,
-                           std::optional<sched::TaskId> faulty = {},
-                           Duration extra = Duration::zero()) {
-  rt::EngineOptions eopts;
-  eopts.horizon = Instant::epoch() + horizon;
-  rt::Engine engine(eopts);
-  std::vector<rt::TaskHandle> handles;
-  handles.reserve(ts.size());
-  for (sched::TaskId id = 0; id < ts.size(); ++id) {
-    rt::CostModel cost;  // empty = nominal
-    if (faulty && *faulty == id) {
-      const Duration nominal = ts[id].cost;
-      cost = [nominal, extra](std::int64_t job) {
-        return job == 0 ? nominal + extra : nominal;
-      };
-    }
-    handles.push_back(engine.add_task(ts[id], std::move(cost)));
-  }
-  engine.run();
-  std::int64_t misses = 0;
-  for (const rt::TaskHandle h : handles) misses += engine.stats(h).missed;
-  return misses;
 }
 
 }  // namespace
@@ -155,10 +130,64 @@ ScenarioSpec scenario_spec(const SweepOptions& opts, std::uint64_t index) {
 // One scenario.
 // ---------------------------------------------------------------------------
 
-ScenarioVerdict run_scenario(const ScenarioSpec& spec,
-                             const SweepOptions& opts) {
+namespace {
+
+rt::EngineOptions placeholder_engine_options() {
+  rt::EngineOptions eopts;
+  eopts.horizon = Instant::from_ns(1);  // re-armed before every run.
+  return eopts;
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(const SweepOptions& opts)
+    : opts_(opts),
+      engine_(placeholder_engine_options()),
+      full_(opts.full_traces ? (std::size_t{1} << 16) : 0) {}
+
+void ScenarioRunner::arm(const sched::TaskSet& ts, Duration horizon,
+                         std::optional<sched::TaskId> faulty,
+                         Duration extra) {
+  rt::EngineOptions eopts;
+  eopts.horizon = Instant::epoch() + horizon;
+  if (opts_.full_traces) {
+    full_.clear();
+    eopts.sink = &full_;
+  } else {
+    counting_.reset();
+    eopts.sink = &counting_;
+  }
+  engine_.reset(eopts);
+  handles_.clear();
+  for (sched::TaskId id = 0; id < ts.size(); ++id) {
+    rt::CostModel cost;  // empty = nominal
+    if (faulty && *faulty == id) {
+      const Duration nominal = ts[id].cost;
+      cost = [nominal, extra](std::int64_t job) {
+        return job == 0 ? nominal + extra : nominal;
+      };
+    }
+    handles_.push_back(engine_.add_task(ts[id], std::move(cost)));
+  }
+}
+
+std::int64_t ScenarioRunner::total_misses() const {
+  // In the default mode the CountingSink *is* the verdict source — the
+  // per-task counters it maintains are exactly what a verdict needs (the
+  // sink-equivalence tests pin them to the engine's statistics). With
+  // full traces the Recorder keeps raw events instead, so fall back to
+  // the engine's counters.
+  if (!opts_.full_traces) {
+    return counting_.total(trace::EventKind::kDeadlineMiss);
+  }
+  std::int64_t misses = 0;
+  for (const rt::TaskHandle h : handles_) misses += engine_.stats(h).missed;
+  return misses;
+}
+
+ScenarioVerdict ScenarioRunner::run(const ScenarioSpec& spec) {
   const sched::TaskSet ts = make_seeded_task_set(spec.seed, spec.tasks);
-  const Duration horizon = max_period(ts) * opts.horizon_periods;
+  const Duration horizon = max_period(ts) * opts_.horizon_periods;
 
   ScenarioVerdict v;
   v.index = spec.index;
@@ -174,39 +203,56 @@ ScenarioVerdict run_scenario(const ScenarioSpec& spec,
 
   // 2. Nominal engine run (synchronous release; the engine must agree
   //    with a schedulable verdict — RTA is a sound worst case).
-  v.nominal_misses = engine_misses(ts, horizon);
+  arm(ts, horizon);
+  engine_.run();
+  v.nominal_misses = total_misses();
   v.engine_clean = v.nominal_misses == 0;
   v.agreement = !v.rta_schedulable || v.engine_clean;
 
   // 3. Equitable allowance, then a faulty run overrunning by exactly A.
   sched::AllowanceOptions aopts;
-  aopts.granularity = opts.allowance_granularity;
+  aopts.granularity = opts_.allowance_granularity;
   const sched::EquitableAllowance ea = sched::equitable_allowance(ts, aopts);
   v.allowance_feasible = ea.feasible_at_zero;
   if (ea.feasible_at_zero) {
     v.allowance = ea.allowance;
     const sched::TaskId top = ts.by_priority_desc().front();
-    v.allowance_honored =
-        engine_misses(ts, horizon, top, ea.allowance) == 0;
+    arm(ts, horizon, top, ea.allowance);
+    engine_.run();
+    v.allowance_honored = total_misses() == 0;
   }
 
   // 4. Detector-loaded run: detectors armed (exact thresholds, per-fire
-  //    CPU cost) on top of the nominal workload.
-  core::FtSystemConfig cfg;
-  cfg.tasks = ts;
-  cfg.policy = opts.detector_policy;
-  cfg.horizon = horizon;
-  cfg.detector.quantizer = rt::Quantizer{Duration::ms(1), rt::Rounding::kNone};
-  cfg.detector.fire_cost = spec.detector_cost;
-  cfg.allowance = aopts;
-  cfg.run_infeasible = true;
-  core::FaultTolerantSystem system(std::move(cfg));
-  const core::RunReport report = system.run();
-  if (report.executed) {
-    v.detector_clean = report.total_misses() == 0;
-    for (const auto& t : report.tasks) v.detector_faults += t.faults_detected;
+  //    CPU cost) on top of the nominal workload. An infeasible set still
+  //    runs, but with a detection-less plan (thresholds would be
+  //    meaningless) — the same degradation FaultTolerantSystem applies.
+  core::TreatmentPlan plan = core::make_treatment_plan_or_degrade(
+      ts, opts_.detector_policy, v.rta_schedulable, aopts);
+  arm(ts, horizon);
+  std::optional<core::DetectorBank> bank;
+  if (plan.detects) {
+    core::DetectorConfig dcfg;
+    dcfg.quantizer = rt::Quantizer{Duration::ms(1), rt::Rounding::kNone};
+    dcfg.fire_cost = spec.detector_cost;
+    core::DetectorBank::FaultHandler handler;
+    if (plan.stops) {
+      handler = [](rt::Engine& e, rt::TaskHandle task, std::int64_t) {
+        e.request_stop(task, rt::StopMode::kTask);
+      };
+    }
+    bank.emplace(engine_, handles_, std::move(plan.thresholds), dcfg,
+                 std::move(handler));
   }
+  engine_.run();
+  v.detector_clean = total_misses() == 0;
+  v.detector_faults = bank ? bank->total_faults() : 0;
   return v;
+}
+
+ScenarioVerdict run_scenario(const ScenarioSpec& spec,
+                             const SweepOptions& opts) {
+  ScenarioRunner runner(opts);
+  return runner.run(spec);
 }
 
 // ---------------------------------------------------------------------------
@@ -257,11 +303,14 @@ SweepReport run_sweep(const SweepOptions& opts) {
   std::exception_ptr failure;
   std::mutex failure_mutex;
   auto worker = [&] {
+    // One reusable engine + sink per worker: scenarios share event-pool,
+    // task-slot and counter storage instead of reallocating per run.
+    ScenarioRunner runner(resolved);
     for (;;) {
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count || failed.load(std::memory_order_relaxed)) return;
       try {
-        verdicts[i] = run_scenario(scenario_spec(resolved, i), resolved);
+        verdicts[i] = runner.run(scenario_spec(resolved, i));
       } catch (...) {
         const std::lock_guard<std::mutex> lock(failure_mutex);
         if (!failure) failure = std::current_exception();

@@ -23,13 +23,17 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/random.hpp"
 #include "common/time.hpp"
 #include "core/treatment.hpp"
+#include "runtime/engine.hpp"
 #include "sweep/generators.hpp"
+#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
 
 namespace rtft::sweep {
 
@@ -79,6 +83,14 @@ struct SweepOptions {
   /// Keep the per-scenario verdicts in the report (aggregates are always
   /// computed). Off saves memory on very large sweeps.
   bool keep_verdicts = true;
+  /// Observation mode for the engine runs. By default every worker
+  /// records through a reused, allocation-free trace::CountingSink —
+  /// the paper's keep-the-substrate-undisturbed discipline at sweep
+  /// scale. Setting this routes events into a per-worker full-fidelity
+  /// trace::Recorder instead (cleared between runs). Verdicts and the
+  /// fingerprint are identical either way; the knob exists for debugging
+  /// and for measuring what full-trace observation costs.
+  bool full_traces = false;
 };
 
 /// Outcome of one scenario. Every field is a pure function of the spec.
@@ -157,7 +169,37 @@ struct SweepReport {
 [[nodiscard]] ScenarioSpec scenario_spec(const SweepOptions& opts,
                                          std::uint64_t index);
 
+/// Per-worker reusable execution context: one engine and one sink,
+/// re-armed between scenarios, so a sweep pays no per-scenario engine or
+/// trace-buffer allocation (the seed design heap-allocated a fresh
+/// engine plus a 64K-event recorder for every one of the four runs of
+/// every scenario). `opts` is borrowed and must outlive the runner.
+/// Verdicts remain pure functions of the spec: run() fully resets the
+/// engine, so reuse is observationally identical to a fresh engine.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(const SweepOptions& opts);
+
+  /// Runs one scenario to its verdict.
+  [[nodiscard]] ScenarioVerdict run(const ScenarioSpec& spec);
+
+ private:
+  /// Re-arms the engine for one run over `horizon` and registers `ts`;
+  /// `faulty` (if set) gets `extra` added to the cost of its job 0.
+  void arm(const sched::TaskSet& ts, Duration horizon,
+           std::optional<sched::TaskId> faulty = {},
+           Duration extra = Duration::zero());
+  [[nodiscard]] std::int64_t total_misses() const;
+
+  const SweepOptions& opts_;
+  rt::Engine engine_;
+  trace::CountingSink counting_;
+  trace::Recorder full_;  ///< used only when opts.full_traces.
+  std::vector<rt::TaskHandle> handles_;
+};
+
 /// Runs one scenario to its verdict (pure; callable from any thread).
+/// One-shot convenience over ScenarioRunner.
 [[nodiscard]] ScenarioVerdict run_scenario(const ScenarioSpec& spec,
                                            const SweepOptions& opts);
 

@@ -25,27 +25,22 @@ std::string_view to_string(EventKind kind) {
 
 Recorder::Recorder(std::size_t reserve) { events_.reserve(reserve); }
 
-void Recorder::record(TraceEvent event) { events_.push_back(event); }
+void Recorder::record(const TraceEvent& event) { events_.push_back(event); }
 
-void Recorder::record(Instant time, EventKind kind, std::uint32_t task,
-                      std::int64_t job, std::int64_t detail) {
-  events_.push_back(TraceEvent{time, job, detail, task, kind});
+std::size_t Recorder::count_of_kind(EventKind kind) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
 }
 
-std::vector<TraceEvent> Recorder::of_kind(EventKind kind) const {
-  std::vector<TraceEvent> out;
+std::size_t Recorder::count_of_task(std::uint32_t task) const {
+  std::size_t n = 0;
   for (const TraceEvent& e : events_) {
-    if (e.kind == kind) out.push_back(e);
+    if (e.task == task) ++n;
   }
-  return out;
-}
-
-std::vector<TraceEvent> Recorder::of_task(std::uint32_t task) const {
-  std::vector<TraceEvent> out;
-  for (const TraceEvent& e : events_) {
-    if (e.task == task) out.push_back(e);
-  }
-  return out;
+  return n;
 }
 
 }  // namespace rtft::trace

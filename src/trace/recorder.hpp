@@ -1,27 +1,24 @@
 // In-memory trace recorder (paper §5: StringBuffer-buffered measurements,
-// written out only after the run).
+// written out only after the run) — the full-fidelity trace::Sink.
 #pragma once
 
 #include <span>
 #include <vector>
 
-#include "trace/events.hpp"
+#include "trace/sink.hpp"
 
 namespace rtft::trace {
 
 /// Append-only event buffer. Preallocates so that recording during a
 /// simulated (or wall-clock) run performs no I/O and, until the reserve
 /// is exhausted, no allocation.
-class Recorder {
+class Recorder final : public Sink {
  public:
   /// `reserve` — number of events to preallocate.
   explicit Recorder(std::size_t reserve = 1 << 16);
 
-  void record(TraceEvent event);
-
-  /// Convenience: build + record.
-  void record(Instant time, EventKind kind, std::uint32_t task = kNoTask,
-              std::int64_t job = kNoJob, std::int64_t detail = 0);
+  using Sink::record;
+  void record(const TraceEvent& event) override;
 
   [[nodiscard]] std::span<const TraceEvent> events() const {
     return events_;
@@ -30,10 +27,30 @@ class Recorder {
   [[nodiscard]] bool empty() const { return events_.empty(); }
   void clear() { events_.clear(); }
 
-  /// Events of one kind, in record order.
-  [[nodiscard]] std::vector<TraceEvent> of_kind(EventKind kind) const;
-  /// Events of one task, in record order.
-  [[nodiscard]] std::vector<TraceEvent> of_task(std::uint32_t task) const;
+  /// Copies the events of one kind, in record order, into `out`; returns
+  /// the iterator past the last element written. Filtering into a
+  /// caller-owned container replaces the old vector-per-call interface:
+  ///   std::vector<TraceEvent> ends;
+  ///   rec.of_kind(EventKind::kJobEnd, std::back_inserter(ends));
+  template <typename OutputIt>
+  OutputIt of_kind(EventKind kind, OutputIt out) const {
+    for (const TraceEvent& e : events_) {
+      if (e.kind == kind) *out++ = e;
+    }
+    return out;
+  }
+  /// Copies the events of one task, in record order, into `out`.
+  template <typename OutputIt>
+  OutputIt of_task(std::uint32_t task, OutputIt out) const {
+    for (const TraceEvent& e : events_) {
+      if (e.task == task) *out++ = e;
+    }
+    return out;
+  }
+  /// Number of recorded events of one kind.
+  [[nodiscard]] std::size_t count_of_kind(EventKind kind) const;
+  /// Number of recorded events attached to one task.
+  [[nodiscard]] std::size_t count_of_task(std::uint32_t task) const;
 
  private:
   std::vector<TraceEvent> events_;

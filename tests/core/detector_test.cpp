@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <vector>
+
 #include "core/paper.hpp"
 #include "sched/response_time.hpp"
+#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
 
 namespace rtft::core {
 namespace {
@@ -15,6 +20,19 @@ rt::EngineOptions horizon_opts(Duration h) {
   rt::EngineOptions o;
   o.horizon = Instant::epoch() + h;
   return o;
+}
+
+rt::EngineOptions traced_opts(Duration h, trace::Sink& sink) {
+  rt::EngineOptions o = horizon_opts(h);
+  o.sink = &sink;
+  return o;
+}
+
+std::vector<trace::TraceEvent> events_of_kind(const trace::Recorder& rec,
+                                              EventKind kind) {
+  std::vector<trace::TraceEvent> out;
+  rec.of_kind(kind, std::back_inserter(out));
+  return out;
 }
 
 TEST(DetectorBank, QuantizesThresholdsLikeThePaper) {
@@ -31,7 +49,9 @@ TEST(DetectorBank, QuantizesThresholdsLikeThePaper) {
 }
 
 TEST(DetectorBank, NominalRunRaisesNoFault) {
-  rt::Engine eng(horizon_opts(2000_ms));
+  // A CountingSink suffices here: the test only needs event counts.
+  trace::CountingSink sink;
+  rt::Engine eng(traced_opts(2000_ms, sink));
   const auto ts = paper::table2_system();
   std::vector<rt::TaskHandle> handles;
   for (const auto& t : ts) handles.push_back(eng.add_task(t));
@@ -39,9 +59,9 @@ TEST(DetectorBank, NominalRunRaisesNoFault) {
                     {});
   eng.run();
   EXPECT_EQ(bank.total_faults(), 0);
-  EXPECT_TRUE(eng.recorder().of_kind(EventKind::kFaultDetected).empty());
+  EXPECT_EQ(sink.total(EventKind::kFaultDetected), 0);
   // But the detectors did fire regularly.
-  EXPECT_GT(eng.recorder().of_kind(EventKind::kDetectorFire).size(), 10u);
+  EXPECT_GT(sink.total(EventKind::kDetectorFire), 10);
 }
 
 TEST(DetectorBank, LateJobDetectedAndHandlerRuns) {
@@ -75,7 +95,8 @@ TEST(DetectorBank, JobFinishingExactlyAtFireIsNotFaulty) {
 }
 
 TEST(DetectorBank, DetectorFollowsTaskOffset) {
-  rt::Engine eng(horizon_opts(100_ms));
+  trace::Recorder rec;
+  rt::Engine eng(traced_opts(100_ms, rec));
   sched::TaskParams p{"t", 5, 30_ms, 100_ms, 100_ms, /*offset=*/20_ms};
   const rt::TaskHandle h =
       eng.add_task(p, [](std::int64_t) { return 45_ms; });
@@ -83,14 +104,15 @@ TEST(DetectorBank, DetectorFollowsTaskOffset) {
   cfg.quantizer.mode = rt::Rounding::kNone;
   DetectorBank bank(eng, {h}, {30_ms}, cfg, {});
   eng.run();
-  const auto fires = eng.recorder().of_kind(EventKind::kDetectorFire);
+  const auto fires = events_of_kind(rec, EventKind::kDetectorFire);
   ASSERT_EQ(fires.size(), 1u);
   EXPECT_EQ(fires[0].time, Instant::epoch() + 50_ms);  // 20 + 30
   EXPECT_EQ(bank.total_faults(), 1);                   // done at 65
 }
 
 TEST(DetectorBank, RetiresWithStoppedTask) {
-  rt::Engine eng(horizon_opts(200_ms));
+  trace::Recorder rec;
+  rt::Engine eng(traced_opts(200_ms, rec));
   sched::TaskParams p{"t", 5, 10_ms, 50_ms, 50_ms, Duration::zero()};
   const rt::TaskHandle h = eng.add_task(p);
   DetectorConfig cfg;
@@ -102,13 +124,14 @@ TEST(DetectorBank, RetiresWithStoppedTask) {
   eng.run();
   // Fires at 15 (job 0 done) and 65 (task stopped -> detector retires
   // without reporting); later fires are cancelled.
-  const auto fires = eng.recorder().of_kind(EventKind::kDetectorFire);
+  const auto fires = events_of_kind(rec, EventKind::kDetectorFire);
   EXPECT_EQ(fires.size(), 1u);
   EXPECT_EQ(bank.total_faults(), 0);
 }
 
 TEST(DetectorBank, FireCostDelaysTheSystem) {
-  rt::Engine eng(horizon_opts(60_ms));
+  trace::Recorder rec;
+  rt::Engine eng(traced_opts(60_ms, rec));
   sched::TaskParams p{"t", 5, 30_ms, 60_ms, 60_ms, Duration::zero()};
   const rt::TaskHandle h = eng.add_task(p);
   DetectorConfig cfg;
@@ -117,7 +140,7 @@ TEST(DetectorBank, FireCostDelaysTheSystem) {
   // Threshold 10: fires while the job runs; its cost preempts the job.
   DetectorBank bank(eng, {h}, {10_ms}, cfg, {});
   eng.run();
-  const auto ends = eng.recorder().of_kind(EventKind::kJobEnd);
+  const auto ends = events_of_kind(rec, EventKind::kJobEnd);
   ASSERT_EQ(ends.size(), 1u);
   EXPECT_EQ(ends[0].time, Instant::epoch() + 32_ms);  // 30 + 2
   EXPECT_EQ(bank.total_faults(), 1);  // job genuinely past threshold
@@ -126,7 +149,8 @@ TEST(DetectorBank, FireCostDelaysTheSystem) {
 TEST(DetectorBank, MidRunArmingAlignsWithTaskStart) {
   // Regression: detectors for tasks launched mid-run (dynamic admission)
   // must align on the task's actual first release, not the epoch.
-  rt::Engine eng(horizon_opts(500_ms));
+  trace::Recorder rec;
+  rt::Engine eng(traced_opts(500_ms, rec));
   eng.run_until(Instant::epoch() + 150_ms);
   sched::TaskParams p{"late", 5, 10_ms, 100_ms, 100_ms, Duration::zero()};
   const rt::TaskHandle h = eng.add_task(p, {}, {}, eng.now());
@@ -136,7 +160,7 @@ TEST(DetectorBank, MidRunArmingAlignsWithTaskStart) {
   eng.run();
   // Releases at 150, 250, 350, 450; fires at 160, 260, 360, 460; the
   // task always completes exactly at its threshold: no fault.
-  const auto fires = eng.recorder().of_kind(EventKind::kDetectorFire);
+  const auto fires = events_of_kind(rec, EventKind::kDetectorFire);
   ASSERT_EQ(fires.size(), 4u);
   EXPECT_EQ(fires[0].time, Instant::epoch() + 160_ms);
   EXPECT_EQ(bank.total_faults(), 0);
@@ -146,7 +170,8 @@ TEST(DetectorBank, MidRunArmingSkipsElapsedWatchDates) {
   // Bank armed at t=35 for a task running since 0 with threshold 10:
   // watch dates 10 and 30 already passed; watching resumes at job 2
   // (fire at 50) with the job counter aligned.
-  rt::Engine eng(horizon_opts(100_ms));
+  trace::Recorder rec;
+  rt::Engine eng(traced_opts(100_ms, rec));
   sched::TaskParams p{"t", 5, 5_ms, 20_ms, 20_ms, Duration::zero()};
   const rt::TaskHandle h =
       eng.add_task(p, [](std::int64_t job) { return job == 2 ? 15_ms : 5_ms; });
@@ -157,7 +182,7 @@ TEST(DetectorBank, MidRunArmingSkipsElapsedWatchDates) {
   eng.run();
   // Job 2 (released 40, cost 15) is still running at its watch date 50.
   ASSERT_GE(bank.total_faults(), 1);
-  const auto faults = eng.recorder().of_kind(EventKind::kFaultDetected);
+  const auto faults = events_of_kind(rec, EventKind::kFaultDetected);
   ASSERT_EQ(faults.size(), 1u);
   EXPECT_EQ(faults[0].time, Instant::epoch() + 50_ms);
   EXPECT_EQ(faults[0].job, 2);

@@ -78,7 +78,7 @@ TEST_F(Figure, Fig3NoDetection) {
   EXPECT_EQ(report.tasks[2].stats.missed, 1);
   EXPECT_EQ(report.missing_tasks(), std::vector<std::string>{"tau3"});
   // Nothing was detected or stopped.
-  EXPECT_TRUE(rec().of_kind(EventKind::kDetectorFire).empty());
+  EXPECT_EQ(rec().count_of_kind(EventKind::kDetectorFire), 0u);
   for (const auto& t : report.tasks) EXPECT_FALSE(t.stats.stopped);
 }
 

@@ -56,8 +56,10 @@ TEST_P(CrossValidation, FirstJobResponseEqualsAnalyticWcrt) {
   const auto ts = feasible_set(GetParam(), 0.7);
   if (!ts) GTEST_SKIP() << "infeasible draw";
 
+  trace::Recorder rec;
   rt::EngineOptions opts;
   opts.horizon = Instant::epoch() + horizon_for(*ts);
+  opts.sink = &rec;
   rt::Engine eng(opts);
   std::vector<rt::TaskHandle> handles;
   for (const auto& t : *ts) handles.push_back(eng.add_task(t));
@@ -69,7 +71,7 @@ TEST_P(CrossValidation, FirstJobResponseEqualsAnalyticWcrt) {
     // First job completed (horizon covers it: wcrt <= D <= T < horizon).
     ASSERT_TRUE(eng.job_completed(handles[i], 0)) << (*ts)[i].name;
     Duration first_response;
-    for (const auto& e : eng.recorder().events()) {
+    for (const auto& e : rec.events()) {
       if (e.kind == trace::EventKind::kJobEnd &&
           e.task == static_cast<std::uint32_t>(handles[i]) && e.job == 0) {
         first_response = Duration::ns(e.detail);

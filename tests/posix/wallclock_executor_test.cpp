@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <vector>
+
 #include "common/assert.hpp"
 
 namespace rtft::posix {
@@ -72,7 +75,9 @@ TEST(WallclockExecutor, TraceEventsArriveInTimeOrderPerTask) {
   // Per task: release(j) <= start(j) <= end(j), job indices increasing.
   for (std::uint32_t taskid : {0u, 1u}) {
     std::int64_t last_job = -1;
-    for (const auto& e : exec.recorder().of_task(taskid)) {
+    std::vector<trace::TraceEvent> task_events;
+    exec.recorder().of_task(taskid, std::back_inserter(task_events));
+    for (const auto& e : task_events) {
       if (e.kind == trace::EventKind::kJobRelease) {
         EXPECT_EQ(e.job, last_job + 1);
         last_job = e.job;

@@ -2,9 +2,13 @@
 // offsets, degenerate workloads, horizon boundaries.
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <vector>
+
 #include "runtime/engine.hpp"
 #include "sched/response_time.hpp"
 #include "support/paper_systems.hpp"
+#include "trace/recorder.hpp"
 #include "trace/validator.hpp"
 
 namespace rtft::rt {
@@ -19,6 +23,12 @@ EngineOptions horizon_opts(Duration h) {
   return o;
 }
 
+EngineOptions traced_opts(Duration h, trace::Recorder& rec) {
+  EngineOptions o = horizon_opts(h);
+  o.sink = &rec;
+  return o;
+}
+
 TEST(EngineEdge, ArbitraryDeadlineBacklogMatchesLehoczkyJobByJob) {
   // τ2 of Table 1 (D < T but responses exceed the period): the engine's
   // backlogged-release semantics must produce exactly the per-job
@@ -28,13 +38,14 @@ TEST(EngineEdge, ArbitraryDeadlineBacklogMatchesLehoczkyJobByJob) {
   opts.record_jobs = true;
   const sched::RtaResult rta = sched::response_time(ts, 1, opts);
 
-  Engine eng(horizon_opts(12_ms));  // one hyperperiod
+  trace::Recorder rec;
+  Engine eng(traced_opts(12_ms, rec));  // one hyperperiod
   eng.add_task(ts[0]);
   const TaskHandle tau2 = eng.add_task(ts[1]);
   eng.run();
 
   std::vector<Duration> simulated;
-  for (const auto& e : eng.recorder().events()) {
+  for (const auto& e : rec.events()) {
     if (e.kind == EventKind::kJobEnd &&
         e.task == static_cast<std::uint32_t>(tau2)) {
       simulated.push_back(Duration::ns(e.detail));
@@ -47,11 +58,13 @@ TEST(EngineEdge, ArbitraryDeadlineBacklogMatchesLehoczkyJobByJob) {
 }
 
 TEST(EngineEdge, OffsetsShiftEverything) {
-  Engine eng(horizon_opts(100_ms));
+  trace::Recorder rec;
+  Engine eng(traced_opts(100_ms, rec));
   sched::TaskParams p{"off", 5, 10_ms, 40_ms, 40_ms, /*offset=*/15_ms};
   const TaskHandle t = eng.add_task(p);
   eng.run();
-  const auto releases = eng.recorder().of_kind(EventKind::kJobRelease);
+  std::vector<trace::TraceEvent> releases;
+  rec.of_kind(EventKind::kJobRelease, std::back_inserter(releases));
   ASSERT_EQ(releases.size(), 3u);  // 15, 55, 95
   EXPECT_EQ(releases[0].time, Instant::epoch() + 15_ms);
   EXPECT_EQ(releases[2].time, Instant::epoch() + 95_ms);
@@ -69,7 +82,8 @@ TEST(EngineEdge, TinyCostsAndLongHorizonsStayExact) {
 }
 
 TEST(EngineEdge, ManyEqualPriorityTasksKeepFifoOrder) {
-  Engine eng(horizon_opts(100_ms));
+  trace::Recorder rec;
+  Engine eng(traced_opts(100_ms, rec));
   std::vector<TaskHandle> handles;
   for (int i = 0; i < 8; ++i) {
     handles.push_back(eng.add_task(sched::TaskParams{
@@ -79,7 +93,7 @@ TEST(EngineEdge, ManyEqualPriorityTasksKeepFifoOrder) {
   // All released at 0, served in handle order: completions at 2, 4, ...
   for (std::size_t i = 0; i < handles.size(); ++i) {
     bool found = false;
-    for (const auto& e : eng.recorder().events()) {
+    for (const auto& e : rec.events()) {
       if (e.kind == EventKind::kJobEnd &&
           e.task == static_cast<std::uint32_t>(handles[i])) {
         EXPECT_EQ(e.time,
@@ -89,7 +103,7 @@ TEST(EngineEdge, ManyEqualPriorityTasksKeepFifoOrder) {
     }
     EXPECT_TRUE(found) << i;
   }
-  EXPECT_TRUE(eng.recorder().of_kind(EventKind::kJobPreempted).empty());
+  EXPECT_EQ(rec.count_of_kind(EventKind::kJobPreempted), 0u);
 }
 
 TEST(EngineEdge, DeadlineLongerThanPeriodChecksFireAfterNextRelease) {
@@ -113,36 +127,39 @@ TEST(EngineEdge, HeavyOverloadTraceStillValidates) {
   sched::TaskSet ts;
   ts.add(sched::TaskParams{"a", 9, 7_ms, 10_ms, 10_ms, 0_ms});
   ts.add(sched::TaskParams{"b", 1, 7_ms, 10_ms, 10_ms, 0_ms});
-  Engine eng(horizon_opts(500_ms));
+  trace::Recorder rec;
+  Engine eng(traced_opts(500_ms, rec));
   const TaskHandle a = eng.add_task(ts[0]);
   const TaskHandle b = eng.add_task(ts[1]);
   eng.run();
   EXPECT_EQ(eng.stats(a).missed, 0);      // a fits: 7 <= 10
   EXPECT_GT(eng.stats(b).missed, 30);     // b starves
-  const trace::ValidationResult v = trace::validate_trace(ts, eng.recorder());
+  const trace::ValidationResult v = trace::validate_trace(ts, rec);
   EXPECT_TRUE(v.ok()) << v.summary();
 }
 
 TEST(EngineEdge, RunUntilInStepsEqualsOneShot) {
-  const auto collect = [](Engine& eng) {
+  const auto collect = [](const trace::Recorder& rec) {
     std::vector<std::tuple<std::int64_t, int, std::uint32_t>> out;
-    for (const auto& e : eng.recorder().events()) {
+    for (const auto& e : rec.events()) {
       out.emplace_back(e.time.count(), static_cast<int>(e.kind), e.task);
     }
     return out;
   };
   const sched::TaskSet ts = testsupport::table2_system(1000_ms);
 
-  Engine one(horizon_opts(2000_ms));
+  trace::Recorder one_rec;
+  Engine one(traced_opts(2000_ms, one_rec));
   for (const auto& t : ts) one.add_task(t);
   one.run();
 
-  Engine stepped(horizon_opts(2000_ms));
+  trace::Recorder stepped_rec;
+  Engine stepped(traced_opts(2000_ms, stepped_rec));
   for (const auto& t : ts) stepped.add_task(t);
   for (int k = 1; k <= 20; ++k) {
     stepped.run_until(Instant::epoch() + 100_ms * k);
   }
-  EXPECT_EQ(collect(one), collect(stepped));
+  EXPECT_EQ(collect(one_rec), collect(stepped_rec));
 }
 
 }  // namespace

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <vector>
+
 #include "support/paper_systems.hpp"
+#include "trace/recorder.hpp"
 
 namespace rtft::rt {
 namespace {
@@ -16,6 +20,20 @@ EngineOptions options_with_horizon(Duration horizon) {
   EngineOptions opts;
   opts.horizon = Instant::epoch() + horizon;
   return opts;
+}
+
+/// Wires a full-fidelity recorder into the options' sink seam.
+EngineOptions with_sink(EngineOptions opts, trace::Recorder& rec) {
+  opts.sink = &rec;
+  return opts;
+}
+
+/// Events of one kind, in record order.
+std::vector<trace::TraceEvent> events_of_kind(const trace::Recorder& rec,
+                                              EventKind kind) {
+  std::vector<trace::TraceEvent> out;
+  rec.of_kind(kind, std::back_inserter(out));
+  return out;
 }
 
 sched::TaskParams simple_task(std::string name, int priority, Duration cost,
@@ -51,11 +69,12 @@ TEST(Engine, SingleTaskCompletesWithResponseEqualCost) {
 }
 
 TEST(Engine, ReleaseDatesFollowOffsetAndPeriod) {
-  Engine eng(options_with_horizon(100_ms));
+  trace::Recorder rec;
+  Engine eng(with_sink(options_with_horizon(100_ms), rec));
   const TaskHandle t =
       eng.add_task(simple_task("off", 5, 1_ms, 30_ms, /*offset=*/10_ms));
   eng.run();
-  const auto releases = eng.recorder().of_kind(EventKind::kJobRelease);
+  const auto releases = events_of_kind(rec, EventKind::kJobRelease);
   ASSERT_EQ(releases.size(), 4u);  // 10, 40, 70, 100
   EXPECT_EQ(releases[0].time, Instant::epoch() + 10_ms);
   EXPECT_EQ(releases[1].time, Instant::epoch() + 40_ms);
@@ -65,7 +84,8 @@ TEST(Engine, ReleaseDatesFollowOffsetAndPeriod) {
 }
 
 TEST(Engine, HigherPriorityPreemptsLower) {
-  Engine eng(options_with_horizon(50_ms));
+  trace::Recorder rec;
+  Engine eng(with_sink(options_with_horizon(50_ms), rec));
   const TaskHandle low =
       eng.add_task(simple_task("low", 1, 10_ms, 50_ms));
   const TaskHandle high =
@@ -73,35 +93,36 @@ TEST(Engine, HigherPriorityPreemptsLower) {
   eng.run();
 
   // low runs [0,2), preempted, high runs [2,5), low resumes [5,13).
-  const auto low_end = first_event(eng.recorder(), EventKind::kJobEnd,
+  const auto low_end = first_event(rec, EventKind::kJobEnd,
                                    static_cast<std::uint32_t>(low));
-  const auto high_end = first_event(eng.recorder(), EventKind::kJobEnd,
+  const auto high_end = first_event(rec, EventKind::kJobEnd,
                                     static_cast<std::uint32_t>(high));
   ASSERT_TRUE(low_end && high_end);
   EXPECT_EQ(high_end->time, Instant::epoch() + 5_ms);
   EXPECT_EQ(low_end->time, Instant::epoch() + 13_ms);
 
-  const auto preempt = first_event(eng.recorder(), EventKind::kJobPreempted,
+  const auto preempt = first_event(rec, EventKind::kJobPreempted,
                                    static_cast<std::uint32_t>(low));
   ASSERT_TRUE(preempt.has_value());
   EXPECT_EQ(preempt->time, Instant::epoch() + 2_ms);
 }
 
 TEST(Engine, FifoWithinSamePriority) {
-  Engine eng(options_with_horizon(50_ms));
+  trace::Recorder rec;
+  Engine eng(with_sink(options_with_horizon(50_ms), rec));
   const TaskHandle a = eng.add_task(simple_task("a", 5, 3_ms, 50_ms));
   const TaskHandle b = eng.add_task(simple_task("b", 5, 3_ms, 50_ms));
   eng.run();
   // Both release at 0; "a" was added first, becomes ready first, runs
   // first; "b" follows without preempting it.
-  const auto a_end = first_event(eng.recorder(), EventKind::kJobEnd,
+  const auto a_end = first_event(rec, EventKind::kJobEnd,
                                  static_cast<std::uint32_t>(a));
-  const auto b_end = first_event(eng.recorder(), EventKind::kJobEnd,
+  const auto b_end = first_event(rec, EventKind::kJobEnd,
                                  static_cast<std::uint32_t>(b));
   ASSERT_TRUE(a_end && b_end);
   EXPECT_EQ(a_end->time, Instant::epoch() + 3_ms);
   EXPECT_EQ(b_end->time, Instant::epoch() + 6_ms);
-  EXPECT_TRUE(eng.recorder().of_kind(EventKind::kJobPreempted).empty());
+  EXPECT_EQ(rec.count_of_kind(EventKind::kJobPreempted), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -109,14 +130,15 @@ TEST(Engine, FifoWithinSamePriority) {
 // ---------------------------------------------------------------------------
 
 TEST(Engine, PaperTable1SimulatedResponsesAre5_6_4) {
-  Engine eng(options_with_horizon(24_ms));
+  trace::Recorder rec;
+  Engine eng(with_sink(options_with_horizon(24_ms), rec));
   const auto ts = table1_system();
   eng.add_task(ts[0]);
   const TaskHandle tau2 = eng.add_task(ts[1]);
   eng.run();
 
   std::vector<Duration> responses;
-  for (const auto& e : eng.recorder().events()) {
+  for (const auto& e : rec.events()) {
     if (e.kind == EventKind::kJobEnd &&
         e.task == static_cast<std::uint32_t>(tau2)) {
       responses.push_back(Duration::ns(e.detail));
@@ -147,7 +169,8 @@ TEST(Engine, PaperTable1DeadlineMissesDetected) {
 // ---------------------------------------------------------------------------
 
 TEST(Engine, OverrunningJobBacklogsSuccessor) {
-  Engine eng(options_with_horizon(30_ms));
+  trace::Recorder rec;
+  Engine eng(with_sink(options_with_horizon(30_ms), rec));
   // One task, period 10, nominal cost 4, first job takes 14.
   const TaskHandle t = eng.add_task(
       simple_task("lag", 5, 4_ms, 10_ms),
@@ -159,7 +182,7 @@ TEST(Engine, OverrunningJobBacklogsSuccessor) {
   // [20,24).
   EXPECT_EQ(s.missed, 1);
   EXPECT_EQ(s.completed, 3);
-  const auto ends = eng.recorder().of_kind(EventKind::kJobEnd);
+  const auto ends = events_of_kind(rec, EventKind::kJobEnd);
   ASSERT_EQ(ends.size(), 3u);
   EXPECT_EQ(ends[0].time, Instant::epoch() + 14_ms);
   EXPECT_EQ(ends[1].time, Instant::epoch() + 18_ms);
@@ -167,11 +190,12 @@ TEST(Engine, OverrunningJobBacklogsSuccessor) {
 }
 
 TEST(Engine, OverrunInjectionIsRecorded) {
-  Engine eng(options_with_horizon(20_ms));
+  trace::Recorder rec;
+  Engine eng(with_sink(options_with_horizon(20_ms), rec));
   eng.add_task(simple_task("f", 5, 4_ms, 20_ms),
                [](std::int64_t job) { return job == 0 ? 9_ms : 4_ms; });
   eng.run();
-  const auto injected = eng.recorder().of_kind(EventKind::kOverrunInjected);
+  const auto injected = events_of_kind(rec, EventKind::kOverrunInjected);
   ASSERT_EQ(injected.size(), 1u);
   EXPECT_EQ(injected[0].job, 0);
   EXPECT_EQ(Duration::ns(injected[0].detail), 5_ms);
@@ -212,15 +236,17 @@ TEST(Engine, StopJobKeepsTaskAlive) {
 }
 
 TEST(Engine, StopPollLatencyDelaysEffect) {
+  trace::Recorder rec;
   EngineOptions opts = options_with_horizon(100_ms);
   opts.stop_poll_latency = 2_ms;
+  opts.sink = &rec;
   Engine eng(opts);
   const TaskHandle t = eng.add_task(simple_task("victim", 5, 8_ms, 20_ms));
   eng.add_one_shot_timer(Instant::epoch() + 3_ms, [&](Engine& e) {
     e.request_stop(t, StopMode::kTask);
   });
   eng.run();
-  const auto aborted = first_event(eng.recorder(), EventKind::kJobAborted,
+  const auto aborted = first_event(rec, EventKind::kJobAborted,
                                    static_cast<std::uint32_t>(t));
   ASSERT_TRUE(aborted.has_value());
   EXPECT_EQ(aborted->time, Instant::epoch() + 5_ms);  // 3 + 2
@@ -294,11 +320,12 @@ TEST(Engine, CancelledTimerStopsFiring) {
 
 TEST(Engine, TimerRunsInZeroVirtualTime) {
   // A timer fire between two jobs must not delay them.
-  Engine eng(options_with_horizon(20_ms));
+  trace::Recorder rec;
+  Engine eng(with_sink(options_with_horizon(20_ms), rec));
   const TaskHandle t = eng.add_task(simple_task("t", 5, 10_ms, 20_ms));
   eng.add_one_shot_timer(Instant::epoch() + 5_ms, [](Engine&) {});
   eng.run();
-  const auto end = first_event(eng.recorder(), EventKind::kJobEnd,
+  const auto end = first_event(rec, EventKind::kJobEnd,
                                static_cast<std::uint32_t>(t));
   ASSERT_TRUE(end.has_value());
   EXPECT_EQ(end->time, Instant::epoch() + 10_ms);
@@ -322,13 +349,14 @@ TEST(Engine, CompletionBeatsTimerAtSameInstant) {
 // ---------------------------------------------------------------------------
 
 TEST(Engine, InjectedOverheadDelaysTasks) {
-  Engine eng(options_with_horizon(30_ms));
+  trace::Recorder rec;
+  Engine eng(with_sink(options_with_horizon(30_ms), rec));
   const TaskHandle t = eng.add_task(simple_task("t", 5, 10_ms, 30_ms));
   eng.add_one_shot_timer(Instant::epoch() + 2_ms, [](Engine& e) {
     e.inject_overhead(3_ms);  // a simulated kernel/detector cost
   });
   eng.run();
-  const auto end = first_event(eng.recorder(), EventKind::kJobEnd,
+  const auto end = first_event(rec, EventKind::kJobEnd,
                                static_cast<std::uint32_t>(t));
   ASSERT_TRUE(end.has_value());
   EXPECT_EQ(end->time, Instant::epoch() + 13_ms);
@@ -338,22 +366,25 @@ TEST(Engine, OverheadDrainingAtAnotherEventsInstant) {
   // Regression: a stale completion event landing at the exact instant the
   // overhead interval drains used to dispatch a task while the queued
   // OverheadDone event was still valid, tripping an engine invariant.
-  Engine eng(options_with_horizon(20_ms));
+  trace::Recorder rec;
+  Engine eng(with_sink(options_with_horizon(20_ms), rec));
   const TaskHandle t = eng.add_task(simple_task("t", 5, 5_ms, 20_ms));
   eng.add_one_shot_timer(Instant::epoch() + 2_ms, [](Engine& e) {
     e.inject_overhead(3_ms);  // drains at t=5, where the (now stale)
                               // completion event also lands
   });
   eng.run();
-  const auto end = first_event(eng.recorder(), EventKind::kJobEnd,
+  const auto end = first_event(rec, EventKind::kJobEnd,
                                static_cast<std::uint32_t>(t));
   ASSERT_TRUE(end.has_value());
   EXPECT_EQ(end->time, Instant::epoch() + 8_ms);  // 5ms work + 3ms overhead
 }
 
 TEST(Engine, ContextSwitchCostCharged) {
+  trace::Recorder rec;
   EngineOptions opts = options_with_horizon(40_ms);
   opts.context_switch_cost = 1_ms;
+  opts.sink = &rec;
   Engine eng(opts);
   const TaskHandle low = eng.add_task(simple_task("low", 1, 10_ms, 40_ms));
   eng.add_task(simple_task("high", 9, 5_ms, 40_ms, /*offset=*/3_ms));
@@ -361,7 +392,7 @@ TEST(Engine, ContextSwitchCostCharged) {
   // Switch charge [0,1), low runs [1,3) and is preempted by high's
   // release; charge [3,4), high runs [4,9); charge [9,10), low resumes
   // with 8 ms left and ends at 18.
-  const auto low_end = first_event(eng.recorder(), EventKind::kJobEnd,
+  const auto low_end = first_event(rec, EventKind::kJobEnd,
                                    static_cast<std::uint32_t>(low));
   ASSERT_TRUE(low_end.has_value());
   EXPECT_EQ(low_end->time, Instant::epoch() + 18_ms);
@@ -392,13 +423,14 @@ TEST(Engine, JobCallbacksBracketEveryJob) {
 
 TEST(Engine, RunsAreDeterministic) {
   auto run_once = [] {
-    Engine eng(options_with_horizon(2000_ms));
+    trace::Recorder rec;
+    Engine eng(with_sink(options_with_horizon(2000_ms), rec));
     const auto ts = table2_system(/*tau3_offset=*/1000_ms);
     for (const auto& t : ts) eng.add_task(t);
     eng.run();
     std::vector<std::tuple<std::int64_t, int, std::uint32_t, std::int64_t>>
         out;
-    for (const auto& e : eng.recorder().events()) {
+    for (const auto& e : rec.events()) {
       out.emplace_back(e.time.count(), static_cast<int>(e.kind), e.task,
                        e.job);
     }

@@ -6,6 +6,7 @@
 #include "runtime/engine.hpp"
 #include "sched/response_time.hpp"
 #include "sched/utilization.hpp"
+#include "trace/recorder.hpp"
 
 namespace rtft::sched {
 namespace {
@@ -67,15 +68,17 @@ TEST(Literature, Lehoczky1990ExampleSimulatesIdentically) {
   ts.add(TaskParams{"t1", 2, 26_ms, 70_ms, 70_ms, 0_ms});
   ts.add(TaskParams{"t2", 1, 62_ms, 100_ms, 120_ms, 0_ms});
 
+  trace::Recorder rec;
   rt::EngineOptions opts;
   opts.horizon = Instant::epoch() + 700_ms;
+  opts.sink = &rec;
   rt::Engine eng(opts);
   eng.add_task(ts[0]);
   const rt::TaskHandle t2 = eng.add_task(ts[1]);
   eng.run();
 
   std::vector<Duration> simulated;
-  for (const auto& e : eng.recorder().events()) {
+  for (const auto& e : rec.events()) {
     if (e.kind == trace::EventKind::kJobEnd &&
         e.task == static_cast<std::uint32_t>(t2)) {
       simulated.push_back(Duration::ns(e.detail));

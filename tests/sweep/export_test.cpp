@@ -1,0 +1,90 @@
+#include "sweep/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace rtft::sweep {
+namespace {
+
+SweepOptions tiny_options() {
+  SweepOptions opts;
+  opts.scenario_count = 24;
+  opts.workers = 2;
+  opts.base_seed = 11;
+  opts.grid.task_counts = {3};
+  opts.grid.utilizations = {0.6, 0.9};
+  opts.grid.detector_costs = {Duration::zero()};
+  return opts;
+}
+
+std::size_t count_lines(const std::string& s) {
+  return static_cast<std::size_t>(std::count(s.begin(), s.end(), '\n'));
+}
+
+TEST(SweepExport, VerdictsCsvHasHeaderAndOneRowPerScenario) {
+  const SweepReport report = run_sweep(tiny_options());
+  const std::string csv = verdicts_csv(report);
+  EXPECT_EQ(count_lines(csv), 1 + report.verdicts.size());
+  EXPECT_EQ(csv.rfind("index,seed,cell,tasks", 0), 0u);  // starts with header
+  // Every row has the full column count.
+  const std::size_t columns =
+      1 + static_cast<std::size_t>(
+              std::count(csv.begin(), csv.begin() + csv.find('\n'), ','));
+  std::size_t pos = csv.find('\n') + 1;
+  while (pos < csv.size()) {
+    const std::size_t end = csv.find('\n', pos);
+    const std::string row = csv.substr(pos, end - pos);
+    EXPECT_EQ(1 + std::count(row.begin(), row.end(), ','), columns);
+    pos = end + 1;
+  }
+}
+
+TEST(SweepExport, VerdictsCsvIsHeaderOnlyWithoutKeptVerdicts) {
+  SweepOptions opts = tiny_options();
+  opts.keep_verdicts = false;
+  const SweepReport report = run_sweep(opts);
+  EXPECT_EQ(count_lines(verdicts_csv(report)), 1u);
+}
+
+TEST(SweepExport, CellsCsvHasOneRowPerCell) {
+  const SweepReport report = run_sweep(tiny_options());
+  const std::string csv = cells_csv(report);
+  EXPECT_EQ(count_lines(csv), 1 + report.cells.size());
+  EXPECT_NE(csv.find("mean_allowance_ms"), std::string::npos);
+}
+
+TEST(SweepExport, JsonCarriesFingerprintSeedAndStructure) {
+  const SweepReport report = run_sweep(tiny_options());
+  const std::string json = report_json(report);
+  // The fingerprint round-trips as a 16-digit hex string.
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "\"%016llx\"",
+                static_cast<unsigned long long>(report.fingerprint));
+  EXPECT_NE(json.find(std::string("\"fingerprint\": ") + fp),
+            std::string::npos);
+  EXPECT_NE(json.find("\"options\""), std::string::npos);
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdicts\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity without a parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  // Seeds are strings, never bare 64-bit numbers.
+  EXPECT_NE(json.find("\"seed\":\""), std::string::npos);
+}
+
+TEST(SweepExport, ExportsAreDeterministic) {
+  const SweepOptions opts = tiny_options();
+  const SweepReport a = run_sweep(opts);
+  const SweepReport b = run_sweep(opts);
+  EXPECT_EQ(verdicts_csv(a), verdicts_csv(b));
+  EXPECT_EQ(cells_csv(a), cells_csv(b));
+}
+
+}  // namespace
+}  // namespace rtft::sweep

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <vector>
+
 namespace rtft::trace {
 namespace {
 
@@ -29,9 +32,26 @@ TEST(Recorder, FiltersByKindAndTask) {
   rec.record(Instant::epoch(), EventKind::kJobRelease, 0, 0);
   rec.record(Instant::epoch(), EventKind::kJobRelease, 1, 0);
   rec.record(Instant::epoch() + 1_ms, EventKind::kJobEnd, 0, 0);
-  EXPECT_EQ(rec.of_kind(EventKind::kJobRelease).size(), 2u);
-  EXPECT_EQ(rec.of_task(0).size(), 2u);
-  EXPECT_EQ(rec.of_task(7).size(), 0u);
+  EXPECT_EQ(rec.count_of_kind(EventKind::kJobRelease), 2u);
+  EXPECT_EQ(rec.count_of_task(0), 2u);
+  EXPECT_EQ(rec.count_of_task(7), 0u);
+
+  // The output-iterator form copies matching events in record order.
+  std::vector<TraceEvent> releases;
+  rec.of_kind(EventKind::kJobRelease, std::back_inserter(releases));
+  ASSERT_EQ(releases.size(), 2u);
+  EXPECT_EQ(releases[0].task, 0u);
+  EXPECT_EQ(releases[1].task, 1u);
+
+  std::vector<TraceEvent> task0;
+  rec.of_task(0, std::back_inserter(task0));
+  ASSERT_EQ(task0.size(), 2u);
+  EXPECT_EQ(task0[1].kind, EventKind::kJobEnd);
+
+  // It also fills preallocated storage and reports the new end.
+  std::vector<TraceEvent> fixed(8);
+  const auto end = rec.of_task(0, fixed.begin());
+  EXPECT_EQ(end - fixed.begin(), 2);
 }
 
 TEST(Recorder, ClearEmpties) {
