@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "runtime/event_heap.hpp"
+#include "runtime/ready_queue.hpp"
 
 namespace rtft::rt {
 namespace {
@@ -77,6 +78,7 @@ struct Engine::Impl {
   EngineOptions options;
   trace::Sink* sink = &trace::NullSink::instance();
   PooledEventHeap<Ev, EvEarlier> queue;
+  ReadyQueue ready;  ///< tasks with a current job, in dispatch order.
   std::vector<TaskRec> tasks;   ///< slots; [0, n_tasks) are live.
   std::vector<TimerRec> timers; ///< slots; [0, n_timers) are live.
   std::size_t n_tasks = 0;
@@ -105,6 +107,7 @@ struct Engine::Impl {
     options = opts;
     sink = opts.sink != nullptr ? opts.sink : &trace::NullSink::instance();
     queue.clear();
+    ready.clear();
     // Drop the closures of the previous run now: a shrinking follow-up
     // run would otherwise pin their captured state in unused slots.
     for (std::size_t i = 0; i < n_tasks; ++i) {
@@ -189,6 +192,9 @@ struct Engine::Impl {
     }
     t.cur_started = false;
     t.ready_seq = next_ready_seq++;
+    if (options.dispatch == DispatchMode::kReadyQueue) {
+      ready.insert(task_idx, t.params.priority, t.ready_seq);
+    }
   }
 
   /// Ends the current job of `task_idx` with the given outcome and
@@ -206,12 +212,16 @@ struct Engine::Impl {
     if (cpu == CpuState::kTask && running_task == task_idx) {
       cpu = CpuState::kIdle;  // reschedule() will pick the next activity.
     }
+    if (options.dispatch == DispatchMode::kReadyQueue) ready.erase(task_idx);
     t.gen++;
     t.has_current = false;
     t.cur_index = -1;
   }
 
-  /// Picks the highest-priority ready job, returns false if none.
+  /// Linear-scan dispatcher: picks the highest-priority ready job by
+  /// rescanning every task slot, returns false if none. O(n) reference
+  /// implementation for DispatchMode::kLinearScan; the ready queue must
+  /// agree with it on every call.
   bool pick_top_task(std::size_t& out) const {
     bool found = false;
     for (std::size_t i = 0; i < n_tasks; ++i) {
@@ -232,6 +242,19 @@ struct Engine::Impl {
     return found;
   }
 
+  /// Dispatch winner under the configured dispatcher. The ready queue
+  /// mirrors the scan's candidate set exactly: a task is queued iff it
+  /// has a current job and is not stopped (a kTask stop retires the
+  /// current job before the next reschedule()).
+  bool top_ready_task(std::size_t& out) const {
+    if (options.dispatch == DispatchMode::kLinearScan) {
+      return pick_top_task(out);
+    }
+    if (ready.empty()) return false;
+    out = ready.top();
+    return true;
+  }
+
   /// Re-evaluates what the CPU should run after any state change.
   void reschedule() {
     // The running overhead interval may have drained exactly at the
@@ -245,7 +268,7 @@ struct Engine::Impl {
     // Decide the next activity: overhead first, then the top ready job.
     std::size_t top = 0;
     const bool overhead_pending = overhead_backlog.is_positive();
-    const bool task_pending = pick_top_task(top);
+    const bool task_pending = top_ready_task(top);
 
     // Charge a context switch when a *different* job is about to take the
     // CPU. The charge itself runs as overhead, so the switch target keeps

@@ -69,6 +69,18 @@ struct TaskCallbacks {
 /// Timer handler; runs at the fire date in zero virtual time.
 using TimerHandler = std::function<void(Engine&)>;
 
+/// How reschedule() finds the dispatch winner. Both produce identical
+/// traces — the order (priority desc, FIFO within a level) is total.
+enum class DispatchMode : std::uint8_t {
+  /// Incrementally maintained ready queue (src/runtime/ready_queue.hpp):
+  /// O(1) winner lookup per event, O(log n) per job start/retirement.
+  kReadyQueue,
+  /// Rescan of every task slot per event — O(n), the original
+  /// dispatcher, retained as an equivalence oracle and benchmark
+  /// baseline.
+  kLinearScan,
+};
+
 /// Terminal state of one released job.
 enum class JobOutcome : std::uint8_t {
   kPending,    ///< released, not yet finished.
@@ -101,6 +113,8 @@ struct EngineOptions {
   /// Where trace events go. Borrowed: must outlive the engine (or its
   /// next reset()). Null discards every event.
   trace::Sink* sink = nullptr;
+  /// Dispatcher implementation; trace-equivalent, differ only in cost.
+  DispatchMode dispatch = DispatchMode::kReadyQueue;
 };
 
 /// The discrete-event engine. Single-threaded; not copyable.

@@ -1,21 +1,76 @@
 #include "sweep/export.hpp"
 
 #include <cinttypes>
+#include <clocale>
+#include <cstdarg>
 #include <cstdio>
 
 #include "common/assert.hpp"
 
 namespace rtft::sweep {
+
+namespace detail {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  // Large enough for the widest verdict row; wider rows grow below.
+  char buf[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list retry;
+  va_copy(retry, args);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  RTFT_ASSERT(n >= 0, "invalid export format string");
+  if (n >= 0) {
+    if (static_cast<std::size_t>(n) < sizeof(buf)) {
+      out.append(buf, static_cast<std::size_t>(n));
+    } else {
+      // Truncated: format again straight into the grown destination
+      // (vsnprintf needs room for its terminating NUL, trimmed after).
+      const std::size_t old = out.size();
+      out.resize(old + static_cast<std::size_t>(n) + 1);
+      std::vsnprintf(&out[old], static_cast<std::size_t>(n) + 1, fmt, retry);
+      out.resize(old + static_cast<std::size_t>(n));
+    }
+  }
+  va_end(retry);
+}
+
+std::string normalize_decimal_point(std::string_view formatted,
+                                    std::string_view decimal_point) {
+  const std::size_t pos = decimal_point.empty() || decimal_point == "."
+                              ? std::string_view::npos
+                              : formatted.find(decimal_point);
+  if (pos == std::string_view::npos) return std::string(formatted);
+  std::string out;
+  out.reserve(formatted.size());
+  out.append(formatted.substr(0, pos));
+  out += '.';
+  out.append(formatted.substr(pos + decimal_point.size()));
+  return out;
+}
+
+void append_double(std::string& out, double value) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "%.17g", value);
+  RTFT_ASSERT(n > 0 && static_cast<std::size_t>(n) < sizeof(buf),
+              "%.17g exceeds the number buffer");
+  const char* dp = std::localeconv()->decimal_point;
+  if (dp == nullptr || (dp[0] == '.' && dp[1] == '\0')) {
+    out.append(buf, static_cast<std::size_t>(n));
+    return;
+  }
+  out += normalize_decimal_point(std::string_view(buf,
+                                                  static_cast<std::size_t>(n)),
+                                 dp);
+}
+
+}  // namespace detail
+
 namespace {
 
-void appendf(std::string& out, const char* fmt, auto... args) {
-  // Large enough for the widest verdict row (16 fields, several %.17g).
-  char buf[1024];
-  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
-  RTFT_ASSERT(n >= 0 && static_cast<std::size_t>(n) < sizeof(buf),
-              "export row exceeds the format buffer");
-  out += buf;
-}
+using detail::append_double;
+using detail::appendf;
 
 void append_hex(std::string& out, std::uint64_t v) {
   appendf(out, "%016" PRIx64, v);
@@ -29,10 +84,12 @@ void append_aggregate_json(std::string& out, const SweepAggregate& a) {
           ",\"engine_clean\":%" PRIu64 ",\"agreement_violations\":%" PRIu64
           ",\"allowance_feasible\":%" PRIu64 ",\"allowance_honored\":%" PRIu64
           ",\"detector_clean\":%" PRIu64 ",\"allowance_sum_ns\":%" PRId64
-          ",\"mean_allowance_ms\":%.17g}",
+          ",\"mean_allowance_ms\":",
           a.total, a.rta_schedulable, a.engine_clean, a.agreement_violations,
           a.allowance_feasible, a.allowance_honored, a.detector_clean,
-          a.allowance_sum.count(), a.mean_allowance_ms());
+          a.allowance_sum.count());
+  append_double(out, a.mean_allowance_ms());
+  out += '}';
 }
 
 }  // namespace
@@ -46,10 +103,13 @@ std::string verdicts_csv(const SweepReport& report) {
   for (const ScenarioVerdict& v : report.verdicts) {
     appendf(out, "%" PRIu64 ",", v.index);
     append_hex(out, v.seed);
+    appendf(out, ",%zu,%zu,", v.cell, v.task_count);
+    append_double(out, v.target_utilization);
+    out += ',';
+    append_double(out, v.actual_utilization);
     appendf(out,
-            ",%zu,%zu,%.17g,%.17g,%" PRId64 ",%s,%s,%" PRId64
-            ",%s,%s,%" PRId64 ",%s,%s,%" PRId64 "\n",
-            v.cell, v.task_count, v.target_utilization, v.actual_utilization,
+            ",%" PRId64 ",%s,%s,%" PRId64 ",%s,%s,%" PRId64 ",%s,%s,%" PRId64
+            "\n",
             v.detector_cost.count(), b(v.rta_schedulable), b(v.engine_clean),
             v.nominal_misses, b(v.agreement), b(v.allowance_feasible),
             v.allowance.count(), b(v.allowance_honored), b(v.detector_clean),
@@ -66,13 +126,16 @@ std::string cells_csv(const SweepReport& report) {
   for (std::size_t c = 0; c < report.cells.size(); ++c) {
     const CellSummary& cell = report.cells[c];
     const SweepAggregate& a = cell.agg;
+    appendf(out, "%zu,%zu,", c, cell.task_count);
+    append_double(out, cell.utilization);
     appendf(out,
-            "%zu,%zu,%.17g,%" PRId64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
-            ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.17g\n",
-            c, cell.task_count, cell.utilization, cell.detector_cost.count(),
-            a.total, a.rta_schedulable, a.engine_clean,
-            a.agreement_violations, a.allowance_feasible, a.allowance_honored,
-            a.detector_clean, a.mean_allowance_ms());
+            ",%" PRId64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+            ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",",
+            cell.detector_cost.count(), a.total, a.rta_schedulable,
+            a.engine_clean, a.agreement_violations, a.allowance_feasible,
+            a.allowance_honored, a.detector_clean);
+    append_double(out, a.mean_allowance_ms());
+    out += '\n';
   }
   return out;
 }
@@ -97,10 +160,11 @@ std::string report_json(const SweepReport& report) {
   for (std::size_t c = 0; c < report.cells.size(); ++c) {
     const CellSummary& cell = report.cells[c];
     if (c > 0) out += ',';
-    appendf(out,
-            "\n    {\"cell\":%zu,\"tasks\":%zu,\"utilization\":%.17g,"
-            "\"detector_cost_ns\":%" PRId64 ",\"aggregate\":",
-            c, cell.task_count, cell.utilization, cell.detector_cost.count());
+    appendf(out, "\n    {\"cell\":%zu,\"tasks\":%zu,\"utilization\":", c,
+            cell.task_count);
+    append_double(out, cell.utilization);
+    appendf(out, ",\"detector_cost_ns\":%" PRId64 ",\"aggregate\":",
+            cell.detector_cost.count());
     append_aggregate_json(out, cell.agg);
     out += '}';
   }
@@ -110,14 +174,15 @@ std::string report_json(const SweepReport& report) {
     if (i > 0) out += ',';
     appendf(out, "\n    {\"index\":%" PRIu64 ",\"seed\":\"", v.index);
     append_hex(out, v.seed);
+    appendf(out, "\",\"cell\":%zu,\"tasks\":%zu,\"actual_utilization\":",
+            v.cell, v.task_count);
+    append_double(out, v.actual_utilization);
     appendf(out,
-            "\",\"cell\":%zu,\"tasks\":%zu,\"actual_utilization\":%.17g,"
-            "\"detector_cost_ns\":%" PRId64 ",\"rta_schedulable\":%s,"
+            ",\"detector_cost_ns\":%" PRId64 ",\"rta_schedulable\":%s,"
             "\"engine_clean\":%s,\"nominal_misses\":%" PRId64
             ",\"agreement\":%s,\"allowance_feasible\":%s,"
             "\"allowance_ns\":%" PRId64 ",\"allowance_honored\":%s,"
             "\"detector_clean\":%s,\"detector_faults\":%" PRId64 "}",
-            v.cell, v.task_count, v.actual_utilization,
             v.detector_cost.count(), v.rta_schedulable ? "true" : "false",
             v.engine_clean ? "true" : "false", v.nominal_misses,
             v.agreement ? "true" : "false",
@@ -126,7 +191,7 @@ std::string report_json(const SweepReport& report) {
             v.detector_clean ? "true" : "false", v.detector_faults);
   }
   out += "\n  ],\n  \"elapsed_seconds\": ";
-  appendf(out, "%.17g", report.elapsed_seconds);
+  append_double(out, report.elapsed_seconds);
   out += ",\n  \"fingerprint\": \"";
   append_hex(out, report.fingerprint);
   out += "\"\n}\n";

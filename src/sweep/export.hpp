@@ -28,4 +28,29 @@ namespace rtft::sweep {
 /// The whole report as one JSON document.
 [[nodiscard]] std::string report_json(const SweepReport& report);
 
+namespace detail {
+
+/// printf-style append. Rows that exceed the internal stack buffer are
+/// formatted again into the grown destination — never truncated (the
+/// export format must stay parseable whatever the row width).
+void appendf(std::string& out, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+/// Appends `value` as %.17g (shortest round-trippable form) with the
+/// decimal separator forced to '.': the C library formats floats with
+/// the global LC_NUMERIC locale, and a comma separator would corrupt
+/// CSV rows and JSON documents.
+void append_double(std::string& out, double value);
+
+/// The locale fix-up of append_double on an already formatted number:
+/// replaces the first occurrence of `decimal_point` (as written by the C
+/// library, possibly multi-byte) with '.'.
+[[nodiscard]] std::string normalize_decimal_point(
+    std::string_view formatted, std::string_view decimal_point);
+
+}  // namespace detail
+
 }  // namespace rtft::sweep

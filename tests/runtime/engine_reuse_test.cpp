@@ -63,6 +63,39 @@ TEST(EngineReuse, ResetReproducesAFreshEngineExactly) {
   }
 }
 
+TEST(EngineReuse, ResetPreservesFifoTieBreaksOnATieHeavyScenario) {
+  // Same-priority tasks with colliding releases: dispatch order within
+  // the level is decided purely by the per-job ready sequence. Any
+  // dispatcher state surviving reset() — a stale ready_seq, a leftover
+  // ready-queue entry — would reorder these ties or corrupt dispatch.
+  const auto build = [](Engine& eng) {
+    for (int i = 0; i < 6; ++i) {
+      eng.add_task(sched::TaskParams{"tie" + std::to_string(i), 5, 3_ms,
+                                     30_ms, 30_ms, 0_ms});
+    }
+  };
+  trace::Recorder fresh_rec;
+  Engine fresh(traced_options(300_ms, &fresh_rec));
+  build(fresh);
+  fresh.run();
+
+  // Dirty the dispatcher hard before the reference scenario: advance the
+  // ready-sequence counter through many job starts, then abandon the run
+  // mid-way so current jobs are still queued for dispatch at reset time.
+  trace::Recorder reused_rec;
+  Engine reused(traced_options(700_ms, &reused_rec));
+  build(reused);
+  // 335 ms is mid-burst: the 330 ms releases of all six tasks are still
+  // draining, so several jobs sit in the ready queue right now.
+  reused.run_until(Instant::epoch() + 335_ms);
+  reused_rec.clear();
+  reused.reset(traced_options(300_ms, &reused_rec));
+  build(reused);
+  reused.run();
+
+  EXPECT_EQ(flatten(fresh_rec), flatten(reused_rec));
+}
+
 TEST(EngineReuse, ResetClearsTasksTimersAndClock) {
   Engine eng(traced_options(100_ms, nullptr));
   eng.add_task(sched::TaskParams{"t", 5, 1_ms, 10_ms, 10_ms, 0_ms});
