@@ -1,0 +1,41 @@
+// Machine-readable output for the perf_* microbenchmarks.
+//
+// Every perf bench links the shared main() in bench_json.cpp, which adds
+// one flag on top of Google Benchmark's own:
+//
+//   --json [PATH]   after the normal console run, write every measured
+//                   benchmark (name, iterations, per-iteration times,
+//                   all user counters, and a derived ns_per_event when
+//                   the bench reports a "sec/event" counter) as one JSON
+//                   document. PATH defaults to BENCH_<executable>.json
+//                   in the working directory.
+//
+// The document is what CI archives per PR to track the perf trajectory:
+// ns/event for the queue/dispatch/sink benches, events per run, and the
+// build configuration it was measured under.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace benchmark {
+class BenchmarkReporter;
+}
+
+namespace rtft::bench {
+
+/// One measured (non-aggregate, non-errored) benchmark run.
+struct JsonRun {
+  std::string name;
+  std::int64_t iterations = 0;
+  double real_ns_per_iter = 0.0;
+  double cpu_ns_per_iter = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Renders the whole document: executable name, build configuration and
+/// the captured runs. Exposed for the unit-testable part of the format.
+[[nodiscard]] std::string render_bench_json(const std::string& bench_name,
+                                            const std::vector<JsonRun>& runs);
+
+}  // namespace rtft::bench

@@ -42,6 +42,8 @@ void run_dispatch_bench(benchmark::State& state, rt::DispatchMode mode) {
   state.counters["sec/event"] = benchmark::Counter(
       static_cast<double>(events),
       benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["events/iter"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kAvgIterations);
 }
 
 void BM_Dispatch_ReadyQueue(benchmark::State& state) {

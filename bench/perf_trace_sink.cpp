@@ -40,21 +40,34 @@ trace::TraceEvent synthetic_event(std::size_t i) {
                            trace::EventKind::kJobEnd};
 }
 
-void append_batch(benchmark::State& state, trace::Sink& sink) {
+void append_batch(trace::Sink& sink) {
   for (std::size_t i = 0; i < kAppendBatch; ++i) {
     sink.record(synthetic_event(i));
   }
-  state.counters["events/s"] = benchmark::Counter(
-      static_cast<double>(kAppendBatch), benchmark::Counter::kIsRate);
+}
+
+/// Rate counters need the total event count over *all* iterations:
+/// kIsRate divides by total elapsed time (a per-iteration constant
+/// would inflate sec/event by the iteration count).
+void report_append_counters(benchmark::State& state) {
+  const double events = static_cast<double>(kAppendBatch) *
+                        static_cast<double>(state.iterations());
+  state.counters["events/s"] =
+      benchmark::Counter(events, benchmark::Counter::kIsRate);
+  state.counters["sec/event"] = benchmark::Counter(
+      events, benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["events/iter"] =
+      benchmark::Counter(static_cast<double>(kAppendBatch));
 }
 
 void BM_SinkAppend_Recorder(benchmark::State& state) {
   trace::Recorder rec(kAppendBatch);
   for (auto _ : state) {
     rec.clear();
-    append_batch(state, rec);
+    append_batch(rec);
     benchmark::DoNotOptimize(rec.size());
   }
+  report_append_counters(state);
 }
 BENCHMARK(BM_SinkAppend_Recorder);
 
@@ -62,17 +75,19 @@ void BM_SinkAppend_Counting(benchmark::State& state) {
   trace::CountingSink sink;
   for (auto _ : state) {
     sink.reset();
-    append_batch(state, sink);
+    append_batch(sink);
     benchmark::DoNotOptimize(sink.task_count());
   }
+  report_append_counters(state);
 }
 BENCHMARK(BM_SinkAppend_Counting);
 
 void BM_SinkAppend_Null(benchmark::State& state) {
   trace::NullSink sink;
   for (auto _ : state) {
-    append_batch(state, sink);
+    append_batch(sink);
   }
+  report_append_counters(state);
 }
 BENCHMARK(BM_SinkAppend_Null);
 
@@ -133,6 +148,11 @@ std::int64_t detector_run(rt::Engine& engine, trace::Sink* sink,
 void report_rate(benchmark::State& state, std::int64_t jobs) {
   state.counters["jobs/s"] = benchmark::Counter(
       static_cast<double>(jobs), benchmark::Counter::kIsRate);
+  state.counters["sec/event"] = benchmark::Counter(
+      static_cast<double>(jobs),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["events/iter"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kAvgIterations);
 }
 
 void BM_DetectorRun_FreshRecorder(benchmark::State& state) {

@@ -3,14 +3,22 @@
 //
 //   sweep_runner [--scenarios N] [--workers W] [--seed S]
 //                [--tasks n1,n2,...] [--util u1,u2,...]
-//                [--detector-cost-us c1,c2,...] [--horizon-periods K]
+//                [--detector-cost-us c1,c2,...]
+//                [--stop-latency-us l1,l2,...] [--policy NAME]
+//                [--horizon-periods K] [--event-queue wheel|heap]
 //                [--verdicts] [--full-traces]
 //                [--csv FILE] [--cells-csv FILE] [--json FILE]
 //
 // Defaults run 1000 scenarios on 4 workers over the default grid
-// (3/5/8 tasks x U 0.5/0.7/0.9 x free detectors). The summary ends with a
-// deterministic fingerprint: identical arguments reproduce it bit-for-bit
-// whatever the worker count.
+// (3/5/8 tasks x U 0.5/0.7/0.9 x free detectors x zero stop latency).
+// The summary ends with a deterministic fingerprint: identical arguments
+// reproduce it bit-for-bit whatever the worker count.
+//
+// --stop-latency-us sweeps the cooperative stop-poll delay (§4.1); pair
+// it with a stopping --policy (e.g. instant-stop) so detected faults
+// actually request stops. --event-queue selects the engine's queue
+// implementation — wheel (default) and heap are trace-equivalent, so
+// the fingerprint must not depend on it.
 //
 // --csv exports one row per scenario verdict, --cells-csv one row per
 // grid cell, --json the whole report; "-" writes to stdout.
@@ -33,7 +41,9 @@ using namespace rtft;
       stderr,
       "usage: %s [--scenarios N] [--workers W] [--seed S]\n"
       "          [--tasks n1,n2,...] [--util u1,u2,...]\n"
-      "          [--detector-cost-us c1,c2,...] [--horizon-periods K]\n"
+      "          [--detector-cost-us c1,c2,...]\n"
+      "          [--stop-latency-us l1,l2,...] [--policy NAME]\n"
+      "          [--horizon-periods K] [--event-queue wheel|heap]\n"
       "          [--verdicts] [--full-traces]\n"
       "          [--csv FILE] [--cells-csv FILE] [--json FILE]\n",
       argv0);
@@ -125,6 +135,28 @@ int main(int argc, char** argv) {
       for (const std::string_view p : split(v, ','))
         opts.grid.detector_costs.push_back(
             Duration::us(parse_count("--detector-cost-us", p)));
+    } else if (arg == "--stop-latency-us") {
+      const std::string v = value();
+      opts.grid.stop_poll_latencies.clear();
+      for (const std::string_view p : split(v, ','))
+        opts.grid.stop_poll_latencies.push_back(
+            Duration::us(parse_count("--stop-latency-us", p)));
+    } else if (arg == "--policy") {
+      const std::string v = value();
+      try {
+        opts.detector_policy = core::treatment_policy_from_string(v);
+      } catch (const std::exception&) {
+        bad_value("--policy", v);
+      }
+    } else if (arg == "--event-queue") {
+      const std::string v = value();
+      if (v == "wheel") {
+        opts.event_queue = rt::EventQueueMode::kTimingWheel;
+      } else if (v == "heap") {
+        opts.event_queue = rt::EventQueueMode::kPooledHeap;
+      } else {
+        bad_value("--event-queue", v);
+      }
     } else if (arg == "--horizon-periods") {
       opts.horizon_periods = parse_count("--horizon-periods", value());
     } else if (arg == "--verdicts") {
@@ -142,7 +174,8 @@ int main(int argc, char** argv) {
     }
   }
   if (opts.scenario_count == 0 || opts.grid.task_counts.empty() ||
-      opts.grid.utilizations.empty() || opts.grid.detector_costs.empty()) {
+      opts.grid.utilizations.empty() || opts.grid.detector_costs.empty() ||
+      opts.grid.stop_poll_latencies.empty()) {
     usage(argv[0]);
   }
 

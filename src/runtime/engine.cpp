@@ -5,7 +5,9 @@
 
 #include "common/assert.hpp"
 #include "runtime/event_heap.hpp"
+#include "runtime/indexed_heap.hpp"
 #include "runtime/ready_queue.hpp"
+#include "runtime/timing_wheel.hpp"
 
 namespace rtft::rt {
 namespace {
@@ -39,6 +41,42 @@ struct EvEarlier {
   }
 };
 
+/// Time key of an event for the timing wheel.
+struct EvTimeNs {
+  std::int64_t operator()(const Ev& e) const { return e.time.count(); }
+};
+
+/// One lazily validated deadline: the moment job `job` of its task would
+/// have been checked by the oracle's kDeadlineCheck event, plus the
+/// sequence number that event would have carried (for tie order).
+struct DlPend {
+  Instant due;
+  std::uint64_t seq = 0;
+  std::int64_t job = -1;
+};
+
+/// One task's earliest pending deadline, keyed for the lazy deadline
+/// index: an indexed min-heap over task slots ordered (due asc, seq
+/// asc) — the replacement for the oracle's per-job kDeadlineCheck
+/// events. Per-task deadlines are FIFO (releases are in order and the
+/// relative deadline is fixed), so one entry per task suffices; the
+/// heap holds at most n_tasks entries where the event queue used to
+/// hold one per outstanding job.
+struct DlHead {
+  std::int64_t due_ns;
+  std::uint64_t seq;
+  std::uint32_t task;
+};
+
+struct DlBefore {
+  bool operator()(const DlHead& a, const DlHead& b) const {
+    if (a.due_ns != b.due_ns) return a.due_ns < b.due_ns;
+    return a.seq < b.seq;
+  }
+};
+
+using DeadlineHeap = TaskIndexedHeap<DlHead, DlBefore>;
+
 /// What the CPU is doing.
 enum class CpuState : std::uint8_t { kIdle, kOverhead, kTask };
 
@@ -62,6 +100,10 @@ struct TaskRec {
   std::uint64_t ready_seq = 0;    ///< FIFO order within a priority level.
 
   std::vector<JobOutcome> outcomes;  ///< per released job.
+  /// Lazy-deadline mode: deadlines awaiting validation, FIFO in
+  /// [dl_head, dl_pending.size()).
+  std::vector<DlPend> dl_pending;
+  std::size_t dl_head = 0;
   TaskStats stats;
 };
 
@@ -77,7 +119,10 @@ struct TimerRec {
 struct Engine::Impl {
   EngineOptions options;
   trace::Sink* sink = &trace::NullSink::instance();
-  PooledEventHeap<Ev, EvEarlier> queue;
+  PooledEventHeap<Ev, EvEarlier> heap_queue;  ///< kPooledHeap events.
+  TimingWheel<Ev, EvEarlier, EvTimeNs> wheel; ///< kTimingWheel events.
+  bool wheel_mode = true;  ///< cached options.event_queue comparison.
+  DeadlineHeap deadlines;  ///< lazy deadline index (wheel mode only).
   ReadyQueue ready;  ///< tasks with a current job, in dispatch order.
   std::vector<TaskRec> tasks;   ///< slots; [0, n_tasks) are live.
   std::vector<TimerRec> timers; ///< slots; [0, n_timers) are live.
@@ -106,13 +151,18 @@ struct Engine::Impl {
   void rearm(EngineOptions opts) {
     options = opts;
     sink = opts.sink != nullptr ? opts.sink : &trace::NullSink::instance();
-    queue.clear();
+    wheel_mode = opts.event_queue == EventQueueMode::kTimingWheel;
+    heap_queue.clear();
+    wheel.clear();
+    deadlines.clear();
     ready.clear();
     // Drop the closures of the previous run now: a shrinking follow-up
     // run would otherwise pin their captured state in unused slots.
     for (std::size_t i = 0; i < n_tasks; ++i) {
       tasks[i].cost_model = nullptr;
       tasks[i].callbacks = {};
+      tasks[i].dl_pending.clear();
+      tasks[i].dl_head = 0;
     }
     for (std::size_t i = 0; i < n_timers; ++i) timers[i].handler = nullptr;
     n_tasks = 0;
@@ -140,7 +190,95 @@ struct Engine::Impl {
 
   void push(Ev ev) {
     ev.seq = next_seq++;
-    queue.push(ev);
+    if (wheel_mode) {
+      wheel.push(ev);
+    } else {
+      heap_queue.push(ev);
+    }
+  }
+
+  [[nodiscard]] bool queue_empty() const {
+    return wheel_mode ? wheel.empty() : heap_queue.empty();
+  }
+
+  /// The next event to dispatch (wheel access may advance its cursor).
+  [[nodiscard]] const Ev& queue_top() {
+    return wheel_mode ? wheel.top() : heap_queue.top();
+  }
+
+  void queue_pop() {
+    if (wheel_mode) {
+      wheel.pop();
+    } else {
+      heap_queue.pop();
+    }
+  }
+
+  // -- lazy deadline validation (kTimingWheel mode) -----------------------
+  //
+  // The oracle queues one kDeadlineCheck event per released job; the
+  // check reads the job's outcome at the deadline date and records a
+  // miss unless it completed. Lazily, the same observation is available
+  // for free: outcomes only change when events dispatch, so flushing all
+  // deadlines dated strictly before the next event (and through stop_at
+  // when a run drains) reads exactly the state the eager check would
+  // have seen, and the recorded miss dates and their order — (due, seq),
+  // the deadline check's position in the total event order — are
+  // bit-identical. A job completing in time retires its pending entry on
+  // the spot, so the index tracks only jobs that can still miss.
+
+  /// Registers job `job` of `task` (dispatching its release right now)
+  /// for lazy validation at `due`. Consumes one sequence number — the
+  /// one the oracle's kDeadlineCheck event would have taken — keeping
+  /// the two modes' sequence streams aligned.
+  void dl_push(std::size_t task, std::int64_t job, Instant due) {
+    TaskRec& t = tasks[task];
+    const std::uint64_t seq = next_seq++;
+    if (t.dl_head == t.dl_pending.size()) {
+      t.dl_pending.clear();
+      t.dl_head = 0;
+    }
+    t.dl_pending.push_back(DlPend{due, seq, job});
+    if (t.dl_pending.size() - t.dl_head == 1) {
+      deadlines.insert(
+          DlHead{due.count(), seq, static_cast<std::uint32_t>(task)});
+    }
+  }
+
+  /// Drops `task`'s earliest pending deadline and re-keys the heap.
+  void dl_advance(std::size_t task) {
+    TaskRec& t = tasks[task];
+    RTFT_ASSERT(t.dl_head < t.dl_pending.size(), "no pending deadline");
+    t.dl_head++;
+    if (t.dl_head < t.dl_pending.size()) {
+      const DlPend& next = t.dl_pending[t.dl_head];
+      deadlines.update(DlHead{next.due.count(), next.seq,
+                              static_cast<std::uint32_t>(task)});
+    } else {
+      deadlines.erase(task);
+      t.dl_pending.clear();
+      t.dl_head = 0;
+    }
+  }
+
+  /// Runs every pending deadline check dated before `limit` (through
+  /// `limit` when `inclusive`), in the exact (due, seq) order the
+  /// oracle's event queue would have dispatched them.
+  void flush_deadlines(Instant limit, bool inclusive) {
+    while (!deadlines.empty()) {
+      const std::size_t task = deadlines.top().task;
+      TaskRec& t = tasks[task];
+      const DlPend head = t.dl_pending[t.dl_head];
+      if (inclusive ? head.due > limit : head.due >= limit) break;
+      const auto idx = static_cast<std::size_t>(head.job);
+      RTFT_ASSERT(idx < t.outcomes.size(), "deadline check for unreleased job");
+      if (t.outcomes[idx] != JobOutcome::kCompleted) {
+        t.stats.missed++;
+        sink->record(head.due, trace::EventKind::kDeadlineMiss,
+                     trace_id(task), head.job, 0);
+      }
+      dl_advance(task);
+    }
   }
 
   Instant release_date(const TaskRec& t, std::int64_t index) const {
@@ -369,8 +507,12 @@ struct Engine::Impl {
     t.stats.released++;
     sink->record(now, trace::EventKind::kJobRelease, trace_id(ev.index),
                  index, 0);
-    push(Ev{now + t.params.deadline, EvKind::kDeadlineCheck, 0, ev.index,
-            index, 0, StopMode::kTask});
+    if (wheel_mode) {
+      dl_push(ev.index, index, now + t.params.deadline);
+    } else {
+      push(Ev{now + t.params.deadline, EvKind::kDeadlineCheck, 0, ev.index,
+              index, 0, StopMode::kTask});
+    }
     // Schedule the following release (one outstanding per task).
     push(Ev{now + t.params.period, EvKind::kRelease, 0, ev.index, index + 1,
             0, StopMode::kTask});
@@ -390,6 +532,13 @@ struct Engine::Impl {
     if (response > t.stats.max_response) t.stats.max_response = response;
     retire_current_job(ev.index, JobOutcome::kCompleted,
                        trace::EventKind::kJobEnd);
+    // A job completing by its deadline can never miss: retire its
+    // pending lazy check on the spot (it is the task's earliest — any
+    // earlier deadline was flushed before this event dispatched).
+    if (wheel_mode && t.dl_head < t.dl_pending.size()) {
+      const DlPend& head = t.dl_pending[t.dl_head];
+      if (head.job == index && now <= head.due) dl_advance(ev.index);
+    }
     if (t.callbacks.on_job_end) t.callbacks.on_job_end(*owner, index);
     if (t.next_start_index < t.next_release_index) start_next_job(ev.index);
   }
@@ -470,13 +619,20 @@ struct Engine::Impl {
   void run_until(Instant stop_at) {
     RTFT_EXPECTS(stop_at <= options.horizon, "cannot run past the horizon");
     RTFT_EXPECTS(stop_at >= now, "cannot run backwards");
-    while (!queue.empty() && queue.top().time <= stop_at) {
-      const Ev ev = queue.top();
-      queue.pop();
+    while (!queue_empty()) {
+      const Ev ev = queue_top();
+      if (ev.time > stop_at) break;
+      // Deadline checks order after every other kind at their date, so
+      // flushing those dated strictly before this event (and the rest
+      // through stop_at once the queue drains) reproduces the oracle's
+      // dispatch positions exactly.
+      if (wheel_mode) flush_deadlines(ev.time, /*inclusive=*/false);
+      queue_pop();
       advance_to(ev.time);
       dispatch(ev);
       reschedule();
     }
+    if (wheel_mode) flush_deadlines(stop_at, /*inclusive=*/true);
     advance_to(stop_at);
   }
 
@@ -509,6 +665,16 @@ void Engine::reset(EngineOptions options) {
   impl_->rearm(options);
 }
 
+void Engine::reserve(std::size_t tasks, std::size_t events) {
+  Impl& im = *impl_;
+  im.tasks.reserve(tasks);
+  im.timers.reserve(tasks);
+  im.ready.reserve(tasks);
+  im.deadlines.reserve(tasks);
+  im.heap_queue.reserve(events);
+  im.wheel.reserve(events);
+}
+
 TaskHandle Engine::add_task(const sched::TaskParams& params, CostModel cost,
                             TaskCallbacks callbacks, Instant start) {
   sched::validate_params(params);
@@ -519,15 +685,28 @@ TaskHandle Engine::add_task(const sched::TaskParams& params, CostModel cost,
   if (im.n_tasks == im.tasks.size()) im.tasks.emplace_back();
   TaskRec& rec = im.tasks[im.n_tasks];
   // Reset the reused slot by construction (future TaskRec fields cannot
-  // leak across runs), keeping only the outcomes vector's capacity.
+  // leak across runs), keeping only the per-job vectors' capacity.
   std::vector<JobOutcome> outcomes = std::move(rec.outcomes);
   outcomes.clear();
+  std::vector<DlPend> dl_pending = std::move(rec.dl_pending);
+  dl_pending.clear();
   rec = TaskRec{};
   rec.outcomes = std::move(outcomes);
+  rec.dl_pending = std::move(dl_pending);
   rec.params = params;
   rec.cost_model = std::move(cost);
   rec.callbacks = std::move(callbacks);
   rec.start = start;
+  // Pre-size the outcome log to the number of jobs the window can
+  // release, so steady-state recording never grows mid-run (capped to
+  // keep a pathological period from reserving gigabytes).
+  if (first_release <= im.options.horizon) {
+    const std::int64_t expected =
+        (im.options.horizon - first_release) / params.period + 1;
+    constexpr std::int64_t kReserveCap = std::int64_t{1} << 20;
+    rec.outcomes.reserve(
+        static_cast<std::size_t>(std::min(expected, kReserveCap)));
+  }
   const TaskHandle handle = im.n_tasks++;
   im.push(Ev{first_release, EvKind::kRelease, 0, handle, 0, 0,
              StopMode::kTask});

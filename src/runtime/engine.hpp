@@ -81,6 +81,24 @@ enum class DispatchMode : std::uint8_t {
   kLinearScan,
 };
 
+/// How the engine keeps its future-event queue. Both produce identical
+/// traces — the dispatch order (time, kind, creation sequence) is total.
+enum class EventQueueMode : std::uint8_t {
+  /// Hierarchical timing wheel (src/runtime/timing_wheel.hpp): O(1)
+  /// amortized insert/extract for the near-monotone periodic workload.
+  /// Deadline checks are *lazy* in this mode — no per-job check event is
+  /// queued; deadlines are validated at the moments that can decide them
+  /// (job completion, and wheel-turn boundaries for everything else), so
+  /// queue traffic roughly halves on periodic-heavy workloads. Observable
+  /// behaviour (traces, statistics, miss dates) is unchanged.
+  kTimingWheel,
+  /// Pooled comparison-based binary heap (src/runtime/event_heap.hpp)
+  /// with one eagerly scheduled deadline-check event per released job —
+  /// the original design, retained as an equivalence oracle and
+  /// benchmark baseline.
+  kPooledHeap,
+};
+
 /// Terminal state of one released job.
 enum class JobOutcome : std::uint8_t {
   kPending,    ///< released, not yet finished.
@@ -115,6 +133,8 @@ struct EngineOptions {
   trace::Sink* sink = nullptr;
   /// Dispatcher implementation; trace-equivalent, differ only in cost.
   DispatchMode dispatch = DispatchMode::kReadyQueue;
+  /// Event-queue implementation; trace-equivalent, differ only in cost.
+  EventQueueMode event_queue = EventQueueMode::kTimingWheel;
 };
 
 /// The discrete-event engine. Single-threaded; not copyable.
@@ -130,6 +150,13 @@ class Engine {
   /// pool, task slots and per-task vectors allocated, so one engine can
   /// execute thousands of scenarios without per-run allocation.
   void reset(EngineOptions options);
+
+  /// Pre-sizes internal storage for a run of up to `tasks` tasks and
+  /// `events` concurrently outstanding events, so the first run after
+  /// construction pays no growth reallocation (reset() already keeps
+  /// capacity across runs). Purely a capacity hint; over- or
+  /// under-estimating is safe.
+  void reserve(std::size_t tasks, std::size_t events);
 
   /// Registers a periodic task. First release at `start + params.offset`
   /// (which must not lie in the past). May be called while the engine is

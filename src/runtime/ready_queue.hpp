@@ -3,10 +3,11 @@
 // reschedule() used to rescan every task slot on every event to find the
 // dispatch winner — O(n) per event, the dominant cost of large-n
 // scenarios. This queue maintains the winner incrementally: an indexed
-// binary heap ordered by (priority desc, ready_seq asc) and keyed by task
-// slot, giving an O(1) top() with O(log n) insert()/erase(). The key of a
-// queued task never changes (ready_seq is assigned once per job and
-// preemption does not re-queue), so no decrease-key operation exists.
+// binary heap (indexed_heap.hpp) ordered by (priority desc, ready_seq
+// asc) and keyed by task slot, giving an O(1) top() with O(log n)
+// insert()/erase(). The key of a queued task never changes (ready_seq is
+// assigned once per job and preemption does not re-queue), so the
+// update operation is never used here.
 //
 // Reuse discipline matches event_heap.hpp: clear() empties the queue in
 // O(size) while every buffer keeps its capacity, so one queue serves
@@ -14,67 +15,41 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "common/assert.hpp"
+#include "runtime/indexed_heap.hpp"
 
 namespace rtft::rt {
 
 class ReadyQueue {
  public:
-  void reserve(std::size_t tasks) {
-    heap_.reserve(tasks);
-    pos_.reserve(tasks);
-  }
+  void reserve(std::size_t tasks) { heap_.reserve(tasks); }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Task slot that must run next: highest priority, FIFO (smallest
   /// ready_seq) within a priority level. Valid until the next mutation.
-  [[nodiscard]] std::size_t top() const {
-    RTFT_ASSERT(!heap_.empty(), "top() on an empty ready queue");
-    return heap_.front().task;
-  }
+  [[nodiscard]] std::size_t top() const { return heap_.top().task; }
 
   [[nodiscard]] bool contains(std::size_t task) const {
-    return task < pos_.size() && pos_[task] != kAbsent;
+    return heap_.contains(task);
   }
 
   /// Queues a task that became ready. ready_seq must be unique across the
   /// queue's lifetime; the task must not already be queued.
   void insert(std::size_t task, int priority, std::uint64_t ready_seq) {
-    if (task >= pos_.size()) pos_.resize(task + 1, kAbsent);
-    RTFT_ASSERT(pos_[task] == kAbsent, "task is already queued");
-    heap_.push_back(
-        Entry{ready_seq, priority, static_cast<std::uint32_t>(task)});
-    sift_up(heap_.size() - 1);
+    heap_.insert(Entry{ready_seq, priority, static_cast<std::uint32_t>(task)});
   }
 
   /// Removes the task wherever it sits (a stop can retire a job that is
   /// neither running nor the dispatch winner).
-  void erase(std::size_t task) {
-    RTFT_ASSERT(contains(task), "erase() of a task that is not queued");
-    const std::size_t i = pos_[task];
-    pos_[task] = kAbsent;
-    const Entry moved = heap_.back();
-    heap_.pop_back();
-    if (i < heap_.size()) {
-      place(i, moved);
-      sift_up(i);
-      sift_down(pos_[moved.task]);
-    }
-  }
+  void erase(std::size_t task) { heap_.erase(task); }
 
   /// Empties the queue; every buffer keeps its capacity.
-  void clear() {
-    for (const Entry& e : heap_) pos_[e.task] = kAbsent;
-    heap_.clear();
-  }
+  void clear() { heap_.clear(); }
 
  private:
-  static constexpr std::uint32_t kAbsent = 0xffffffffu;
-
   struct Entry {
     std::uint64_t ready_seq;
     int priority;
@@ -83,43 +58,14 @@ class ReadyQueue {
 
   /// True when `a` must be dispatched before `b`. Total: ready_seq is
   /// unique among queued entries.
-  static bool before(const Entry& a, const Entry& b) {
-    if (a.priority != b.priority) return a.priority > b.priority;
-    return a.ready_seq < b.ready_seq;
-  }
-
-  void place(std::size_t i, const Entry& e) {
-    heap_[i] = e;
-    pos_[e.task] = static_cast<std::uint32_t>(i);
-  }
-
-  void sift_up(std::size_t i) {
-    const Entry e = heap_[i];
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!before(e, heap_[parent])) break;
-      place(i, heap_[parent]);
-      i = parent;
+  struct Before {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.ready_seq < b.ready_seq;
     }
-    place(i, e);
-  }
+  };
 
-  void sift_down(std::size_t i) {
-    const Entry e = heap_[i];
-    const std::size_t n = heap_.size();
-    for (;;) {
-      std::size_t child = 2 * i + 1;
-      if (child >= n) break;
-      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
-      if (!before(heap_[child], e)) break;
-      place(i, heap_[child]);
-      i = child;
-    }
-    place(i, e);
-  }
-
-  std::vector<Entry> heap_;          ///< heap-ordered entries.
-  std::vector<std::uint32_t> pos_;   ///< task slot -> heap index, or kAbsent.
+  TaskIndexedHeap<Entry, Before> heap_;
 };
 
 }  // namespace rtft::rt

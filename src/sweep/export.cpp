@@ -97,7 +97,8 @@ void append_aggregate_json(std::string& out, const SweepAggregate& a) {
 std::string verdicts_csv(const SweepReport& report) {
   std::string out =
       "index,seed,cell,tasks,target_utilization,actual_utilization,"
-      "detector_cost_ns,rta_schedulable,engine_clean,nominal_misses,"
+      "detector_cost_ns,stop_poll_latency_ns,rta_schedulable,engine_clean,"
+      "nominal_misses,"
       "agreement,allowance_feasible,allowance_ns,allowance_honored,"
       "detector_clean,detector_faults\n";
   for (const ScenarioVerdict& v : report.verdicts) {
@@ -108,9 +109,10 @@ std::string verdicts_csv(const SweepReport& report) {
     out += ',';
     append_double(out, v.actual_utilization);
     appendf(out,
-            ",%" PRId64 ",%s,%s,%" PRId64 ",%s,%s,%" PRId64 ",%s,%s,%" PRId64
-            "\n",
-            v.detector_cost.count(), b(v.rta_schedulable), b(v.engine_clean),
+            ",%" PRId64 ",%" PRId64 ",%s,%s,%" PRId64 ",%s,%s,%" PRId64
+            ",%s,%s,%" PRId64 "\n",
+            v.detector_cost.count(), v.stop_poll_latency.count(),
+            b(v.rta_schedulable), b(v.engine_clean),
             v.nominal_misses, b(v.agreement), b(v.allowance_feasible),
             v.allowance.count(), b(v.allowance_honored), b(v.detector_clean),
             v.detector_faults);
@@ -120,7 +122,8 @@ std::string verdicts_csv(const SweepReport& report) {
 
 std::string cells_csv(const SweepReport& report) {
   std::string out =
-      "cell,tasks,utilization,detector_cost_ns,total,rta_schedulable,"
+      "cell,tasks,utilization,detector_cost_ns,stop_poll_latency_ns,total,"
+      "rta_schedulable,"
       "engine_clean,agreement_violations,allowance_feasible,"
       "allowance_honored,detector_clean,mean_allowance_ms\n";
   for (std::size_t c = 0; c < report.cells.size(); ++c) {
@@ -129,9 +132,10 @@ std::string cells_csv(const SweepReport& report) {
     appendf(out, "%zu,%zu,", c, cell.task_count);
     append_double(out, cell.utilization);
     appendf(out,
-            ",%" PRId64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
-            ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",",
-            cell.detector_cost.count(), a.total, a.rta_schedulable,
+            ",%" PRId64 ",%" PRId64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+            ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",",
+            cell.detector_cost.count(), cell.stop_poll_latency.count(),
+            a.total, a.rta_schedulable,
             a.engine_clean, a.agreement_violations, a.allowance_feasible,
             a.allowance_honored, a.detector_clean);
     append_double(out, a.mean_allowance_ms());
@@ -163,8 +167,10 @@ std::string report_json(const SweepReport& report) {
     appendf(out, "\n    {\"cell\":%zu,\"tasks\":%zu,\"utilization\":", c,
             cell.task_count);
     append_double(out, cell.utilization);
-    appendf(out, ",\"detector_cost_ns\":%" PRId64 ",\"aggregate\":",
-            cell.detector_cost.count());
+    appendf(out,
+            ",\"detector_cost_ns\":%" PRId64
+            ",\"stop_poll_latency_ns\":%" PRId64 ",\"aggregate\":",
+            cell.detector_cost.count(), cell.stop_poll_latency.count());
     append_aggregate_json(out, cell.agg);
     out += '}';
   }
@@ -178,12 +184,14 @@ std::string report_json(const SweepReport& report) {
             v.cell, v.task_count);
     append_double(out, v.actual_utilization);
     appendf(out,
-            ",\"detector_cost_ns\":%" PRId64 ",\"rta_schedulable\":%s,"
+            ",\"detector_cost_ns\":%" PRId64
+            ",\"stop_poll_latency_ns\":%" PRId64 ",\"rta_schedulable\":%s,"
             "\"engine_clean\":%s,\"nominal_misses\":%" PRId64
             ",\"agreement\":%s,\"allowance_feasible\":%s,"
             "\"allowance_ns\":%" PRId64 ",\"allowance_honored\":%s,"
             "\"detector_clean\":%s,\"detector_faults\":%" PRId64 "}",
-            v.detector_cost.count(), v.rta_schedulable ? "true" : "false",
+            v.detector_cost.count(), v.stop_poll_latency.count(),
+            v.rta_schedulable ? "true" : "false",
             v.engine_clean ? "true" : "false", v.nominal_misses,
             v.agreement ? "true" : "false",
             v.allowance_feasible ? "true" : "false", v.allowance.count(),

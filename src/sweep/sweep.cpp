@@ -58,6 +58,13 @@ void fingerprint_verdict(std::uint64_t& h, const ScenarioVerdict& v) {
   fnv_mix(h, static_cast<std::uint64_t>(v.nominal_misses));
   fnv_mix(h, static_cast<std::uint64_t>(v.allowance.count()));
   fnv_mix(h, static_cast<std::uint64_t>(v.detector_faults));
+  // The stop-poll-latency axis postdates the pinned default-grid
+  // fingerprint (3de9f44828016e12); mixing its zero default would
+  // silently re-fingerprint every historical sweep, so only non-default
+  // values contribute.
+  if (!v.stop_poll_latency.is_zero()) {
+    fnv_mix(h, static_cast<std::uint64_t>(v.stop_poll_latency.count()));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -104,13 +111,17 @@ ScenarioSpec scenario_spec(const SweepOptions& opts, std::uint64_t index) {
   const std::size_t cells = g.cell_count();
   const std::size_t cell = static_cast<std::size_t>(index % cells);
 
-  // Flat cell -> (task_count, utilization, detector_cost); detector cost
-  // varies fastest, task count slowest.
+  // Flat cell -> (task_count, utilization, detector_cost, stop
+  // latency); stop latency varies fastest, task count slowest. With the
+  // default single-zero latency axis the mapping is identical to the
+  // historical three-axis grid.
+  const std::size_t s_n = g.stop_poll_latencies.size();
   const std::size_t d_n = g.detector_costs.size();
   const std::size_t u_n = g.utilizations.size();
-  const std::size_t d_i = cell % d_n;
-  const std::size_t u_i = (cell / d_n) % u_n;
-  const std::size_t t_i = cell / (d_n * u_n);
+  const std::size_t s_i = cell % s_n;
+  const std::size_t d_i = (cell / s_n) % d_n;
+  const std::size_t u_i = (cell / (s_n * d_n)) % u_n;
+  const std::size_t t_i = cell / (s_n * d_n * u_n);
 
   ScenarioSpec spec;
   spec.index = index;
@@ -123,6 +134,7 @@ ScenarioSpec scenario_spec(const SweepOptions& opts, std::uint64_t index) {
   spec.tasks.deadline_min_factor = g.deadline_min_factor;
   spec.tasks.deadline_max_factor = g.deadline_max_factor;
   spec.detector_cost = g.detector_costs[d_i];
+  spec.stop_poll_latency = g.stop_poll_latencies[s_i];
   return spec;
 }
 
@@ -143,13 +155,30 @@ rt::EngineOptions placeholder_engine_options() {
 ScenarioRunner::ScenarioRunner(const SweepOptions& opts)
     : opts_(opts),
       engine_(placeholder_engine_options()),
-      full_(opts.full_traces ? (std::size_t{1} << 16) : 0) {}
+      full_(opts.full_traces ? (std::size_t{1} << 16) : 0) {
+  // Pre-size the engine from the grid so even the worker's first run
+  // allocates nothing mid-simulation. The busiest draw the grid can
+  // produce releases tasks x ceil(horizon / min period) jobs — that
+  // bound sizes the per-task outcome logs (Engine::add_task reserves
+  // them from the actual horizon and period). The event queue only ever
+  // holds *outstanding* events — one release and at most one completion
+  // and one deadline check per task, plus stop/overhead slack — so its
+  // hint is a small multiple of the largest swept task count.
+  std::size_t max_tasks = 0;
+  for (const std::size_t n : opts.grid.task_counts) {
+    max_tasks = std::max(max_tasks, n);
+  }
+  engine_.reserve(max_tasks, 4 * max_tasks + 16);
+  handles_.reserve(max_tasks);
+}
 
 void ScenarioRunner::arm(const sched::TaskSet& ts, Duration horizon,
                          std::optional<sched::TaskId> faulty,
                          Duration extra) {
   rt::EngineOptions eopts;
   eopts.horizon = Instant::epoch() + horizon;
+  eopts.stop_poll_latency = stop_poll_latency_;
+  eopts.event_queue = opts_.event_queue;
   if (opts_.full_traces) {
     full_.clear();
     eopts.sink = &full_;
@@ -188,6 +217,7 @@ std::int64_t ScenarioRunner::total_misses() const {
 ScenarioVerdict ScenarioRunner::run(const ScenarioSpec& spec) {
   const sched::TaskSet ts = make_seeded_task_set(spec.seed, spec.tasks);
   const Duration horizon = max_period(ts) * opts_.horizon_periods;
+  stop_poll_latency_ = spec.stop_poll_latency;
 
   ScenarioVerdict v;
   v.index = spec.index;
@@ -197,6 +227,7 @@ ScenarioVerdict ScenarioRunner::run(const ScenarioSpec& spec) {
   v.target_utilization = spec.tasks.total_utilization;
   v.actual_utilization = ts.utilization();
   v.detector_cost = spec.detector_cost;
+  v.stop_poll_latency = spec.stop_poll_latency;
 
   // 1. Analysis.
   v.rta_schedulable = sched::is_feasible(ts);
@@ -226,9 +257,20 @@ ScenarioVerdict ScenarioRunner::run(const ScenarioSpec& spec) {
   //    CPU cost) on top of the nominal workload. An infeasible set still
   //    runs, but with a detection-less plan (thresholds would be
   //    meaningless) — the same degradation FaultTolerantSystem applies.
+  //    A *stopping* policy is exercised end-to-end instead: the
+  //    top-priority task overruns job 0 far past its stop threshold, so
+  //    its detector fires, the stop is requested, and the swept
+  //    stop-poll latency (§4.1) decides how long the hog burns CPU
+  //    before dying — visible in how many lower-priority detectors fire
+  //    in the meantime. Non-stopping policies keep the nominal run (and
+  //    the historical default-grid fingerprint) unchanged.
   core::TreatmentPlan plan = core::make_treatment_plan_or_degrade(
       ts, opts_.detector_policy, v.rta_schedulable, aopts);
-  arm(ts, horizon);
+  if (plan.detects && plan.stops) {
+    arm(ts, horizon, ts.by_priority_desc().front(), max_period(ts));
+  } else {
+    arm(ts, horizon);
+  }
   std::optional<core::DetectorBank> bank;
   if (plan.detects) {
     core::DetectorConfig dcfg;
@@ -280,6 +322,10 @@ SweepReport run_sweep(const SweepOptions& opts) {
     RTFT_EXPECTS(u > 0.0, "every swept utilization must be positive");
   for (const Duration c : opts.grid.detector_costs)
     RTFT_EXPECTS(!c.is_negative(), "detector cost must be non-negative");
+  RTFT_EXPECTS(!opts.grid.stop_poll_latencies.empty(),
+               "sweep needs at least one stop-poll latency");
+  for (const Duration l : opts.grid.stop_poll_latencies)
+    RTFT_EXPECTS(!l.is_negative(), "stop-poll latency must be non-negative");
   RTFT_EXPECTS(opts.grid.min_period.is_positive() &&
                    opts.grid.max_period >= opts.grid.min_period,
                "period range must be positive and ordered");
@@ -344,6 +390,7 @@ SweepReport run_sweep(const SweepOptions& opts) {
     report.cells[c].task_count = spec.tasks.tasks;
     report.cells[c].utilization = spec.tasks.total_utilization;
     report.cells[c].detector_cost = spec.detector_cost;
+    report.cells[c].stop_poll_latency = spec.stop_poll_latency;
   }
   report.elapsed_seconds =
       std::chrono::duration<double>(t1 - t0).count();
@@ -358,8 +405,9 @@ SweepReport run_sweep(const SweepOptions& opts) {
 std::string SweepReport::table() const {
   std::string out;
   char line[160];
-  std::snprintf(line, sizeof(line), "%5s %5s %9s %7s %7s %7s %7s %9s %8s\n",
-                "tasks", "U", "det-cost", "n", "sched", "clean", "agree",
+  std::snprintf(line, sizeof(line),
+                "%5s %5s %9s %9s %7s %7s %7s %7s %9s %8s\n", "tasks", "U",
+                "det-cost", "stop-lat", "n", "sched", "clean", "agree",
                 "mean-A", "honored");
   out += line;
   auto pct = [](std::uint64_t part, std::uint64_t whole) {
@@ -370,9 +418,11 @@ std::string SweepReport::table() const {
   for (const CellSummary& c : cells) {
     const SweepAggregate& a = c.agg;
     std::snprintf(line, sizeof(line),
-                  "%5zu %5.2f %9s %7llu %6.1f%% %6.1f%% %7s %7.2fms %7.1f%%\n",
+                  "%5zu %5.2f %9s %9s %7llu %6.1f%% %6.1f%% %7s %7.2fms "
+                  "%7.1f%%\n",
                   c.task_count, c.utilization,
                   to_string(c.detector_cost).c_str(),
+                  to_string(c.stop_poll_latency).c_str(),
                   static_cast<unsigned long long>(a.total),
                   pct(a.rta_schedulable, a.total), pct(a.engine_clean, a.total),
                   a.agreement_violations == 0 ? "yes" : "NO",

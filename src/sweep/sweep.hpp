@@ -44,6 +44,11 @@ struct SweepGrid {
   std::vector<std::size_t> task_counts = {3, 5, 8};
   std::vector<double> utilizations = {0.5, 0.7, 0.9};
   std::vector<Duration> detector_costs = {Duration::zero()};
+  /// Stop-poll latencies for the engine runs (§4.1's cooperative-stop
+  /// delay). Matters under a stopping detector policy: a slow poll lets
+  /// a faulty job burn CPU past its stop request. The default single
+  /// zero keeps the historical grid shape (and fingerprint) unchanged.
+  std::vector<Duration> stop_poll_latencies = {Duration::zero()};
   /// Deadline = period * factor drawn uniformly from this range
   /// (<= 1: constrained deadlines, the paper's setting).
   double deadline_min_factor = 0.8;
@@ -52,7 +57,8 @@ struct SweepGrid {
   Duration max_period = Duration::ms(1000);
 
   [[nodiscard]] std::size_t cell_count() const {
-    return task_counts.size() * utilizations.size() * detector_costs.size();
+    return task_counts.size() * utilizations.size() * detector_costs.size() *
+           stop_poll_latencies.size();
   }
 };
 
@@ -63,6 +69,7 @@ struct ScenarioSpec {
   std::size_t cell = 0;     ///< flat grid-cell index.
   RandomTaskSetSpec tasks;
   Duration detector_cost;
+  Duration stop_poll_latency;
 };
 
 /// Sweep-wide options.
@@ -91,6 +98,10 @@ struct SweepOptions {
   /// fingerprint are identical either way; the knob exists for debugging
   /// and for measuring what full-trace observation costs.
   bool full_traces = false;
+  /// Event-queue implementation for the engine runs. Trace-equivalent
+  /// by construction (the engine's dispatch order is total); the knob
+  /// exists for the equivalence tests and for benchmarking the oracle.
+  rt::EventQueueMode event_queue = rt::EventQueueMode::kTimingWheel;
 };
 
 /// Outcome of one scenario. Every field is a pure function of the spec.
@@ -102,6 +113,7 @@ struct ScenarioVerdict {
   double target_utilization = 0.0;
   double actual_utilization = 0.0;
   Duration detector_cost;
+  Duration stop_poll_latency;
 
   bool rta_schedulable = false;   ///< analysis: every WCRT within deadline.
   bool engine_clean = false;      ///< nominal run: zero deadline misses.
@@ -143,6 +155,7 @@ struct CellSummary {
   std::size_t task_count = 0;
   double utilization = 0.0;
   Duration detector_cost;
+  Duration stop_poll_latency;
   SweepAggregate agg;
 };
 
@@ -196,6 +209,7 @@ class ScenarioRunner {
   trace::CountingSink counting_;
   trace::Recorder full_;  ///< used only when opts.full_traces.
   std::vector<rt::TaskHandle> handles_;
+  Duration stop_poll_latency_;  ///< current scenario's §4.1 poll delay.
 };
 
 /// Runs one scenario to its verdict (pure; callable from any thread).

@@ -71,6 +71,19 @@ TEST(SweepExport, VerdictsCsvHasHeaderAndOneRowPerScenario) {
   }
 }
 
+TEST(SweepExport, CarriesTheStopLatencyAxis) {
+  SweepOptions opts = tiny_options();
+  opts.grid.stop_poll_latencies = {Duration::us(250)};
+  const SweepReport report = run_sweep(opts);
+  const std::string csv = verdicts_csv(report);
+  EXPECT_NE(csv.find("stop_poll_latency_ns"), std::string::npos);
+  EXPECT_NE(csv.find(",250000,"), std::string::npos);
+  EXPECT_NE(cells_csv(report).find("stop_poll_latency_ns"),
+            std::string::npos);
+  EXPECT_NE(report_json(report).find("\"stop_poll_latency_ns\":250000"),
+            std::string::npos);
+}
+
 TEST(SweepExport, VerdictsCsvIsHeaderOnlyWithoutKeptVerdicts) {
   SweepOptions opts = tiny_options();
   opts.keep_verdicts = false;

@@ -136,6 +136,91 @@ TEST(Sweep, WorkerCountIndependence) {
     expect_same_aggregate(serial.cells[c].agg, parallel.cells[c].agg);
 }
 
+TEST(Sweep, EventQueueModesProduceIdenticalFingerprints) {
+  // The timing wheel and the pooled-heap oracle must agree verdict for
+  // verdict — the sweep is the engine-equivalence test at population
+  // scale. Exercise a stopping policy too, so stop effects and the
+  // faulty detector run cross the queue as well.
+  SweepOptions opts = small_options();
+  opts.scenario_count = 60;
+  opts.detector_policy = core::TreatmentPolicy::kInstantStop;
+  opts.grid.stop_poll_latencies = {Duration::zero(), Duration::ms(5)};
+  opts.event_queue = rt::EventQueueMode::kTimingWheel;
+  const SweepReport wheel = run_sweep(opts);
+  opts.event_queue = rt::EventQueueMode::kPooledHeap;
+  const SweepReport heap = run_sweep(opts);
+  EXPECT_EQ(wheel.fingerprint, heap.fingerprint);
+  expect_same_aggregate(wheel.totals, heap.totals);
+  ASSERT_EQ(wheel.verdicts.size(), heap.verdicts.size());
+  for (std::size_t i = 0; i < wheel.verdicts.size(); ++i) {
+    EXPECT_EQ(wheel.verdicts[i].nominal_misses,
+              heap.verdicts[i].nominal_misses);
+    EXPECT_EQ(wheel.verdicts[i].detector_faults,
+              heap.verdicts[i].detector_faults);
+    EXPECT_EQ(wheel.verdicts[i].allowance, heap.verdicts[i].allowance);
+  }
+}
+
+TEST(SweepGrid, DefaultStopLatencyAxisKeepsHistoricalMapping) {
+  // A single zero-latency axis must not perturb the cell mapping or the
+  // fingerprint: pre-axis sweeps stay bit-for-bit reproducible.
+  SweepOptions opts = small_options();
+  opts.scenario_count = 40;
+  const SweepReport implicit = run_sweep(opts);
+  ASSERT_EQ(opts.grid.stop_poll_latencies,
+            std::vector<Duration>{Duration::zero()});
+  opts.grid.stop_poll_latencies = {Duration::zero()};  // explicit default
+  const SweepReport explicit_zero = run_sweep(opts);
+  EXPECT_EQ(implicit.fingerprint, explicit_zero.fingerprint);
+  for (std::uint64_t i = 0; i < opts.scenario_count; ++i) {
+    const ScenarioSpec spec = scenario_spec(opts, i);
+    EXPECT_EQ(spec.stop_poll_latency, Duration::zero());
+  }
+}
+
+TEST(SweepGrid, StopLatencyAxisRoundRobinsFastest) {
+  SweepOptions opts = small_options();
+  opts.grid.stop_poll_latencies = {Duration::zero(), Duration::us(500),
+                                   Duration::ms(2)};
+  ASSERT_EQ(opts.grid.cell_count(), 24u);
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    const ScenarioSpec spec = scenario_spec(opts, i);
+    EXPECT_EQ(spec.stop_poll_latency,
+              opts.grid.stop_poll_latencies[static_cast<std::size_t>(i % 3)]);
+    // The slower axes decompose as before, just scaled by the new one.
+    EXPECT_EQ(spec.detector_cost,
+              opts.grid.detector_costs[static_cast<std::size_t>((i / 3) % 2)]);
+  }
+}
+
+TEST(Sweep, StopLatencyChangesOutcomesUnderAStoppingPolicy) {
+  // Under instant-stop the detector run injects a top-priority hog whose
+  // stop lands only after the poll latency: a long poll must be visible
+  // in the verdicts (more lower-priority detector fires while the hog
+  // spins). Carried by the fingerprint either way, but assert the raw
+  // signal so the axis can never silently go inert again.
+  SweepOptions opts = small_options();
+  opts.scenario_count = 30;
+  opts.grid.task_counts = {5};
+  opts.grid.utilizations = {0.9};
+  opts.grid.detector_costs = {Duration::zero()};
+  opts.detector_policy = core::TreatmentPolicy::kInstantStop;
+  opts.grid.stop_poll_latencies = {Duration::zero()};
+  const SweepReport fast = run_sweep(opts);
+  opts.grid.stop_poll_latencies = {Duration::ms(500)};
+  const SweepReport slow = run_sweep(opts);
+  std::int64_t fast_faults = 0;
+  std::int64_t slow_faults = 0;
+  for (const ScenarioVerdict& v : fast.verdicts) {
+    fast_faults += v.detector_faults;
+  }
+  for (const ScenarioVerdict& v : slow.verdicts) {
+    slow_faults += v.detector_faults;
+  }
+  EXPECT_GT(slow_faults, fast_faults);
+  EXPECT_NE(fast.fingerprint, slow.fingerprint);
+}
+
 TEST(Sweep, DifferentSeedsProduceDifferentFingerprints) {
   SweepOptions opts = small_options();
   opts.scenario_count = 40;
