@@ -1,0 +1,97 @@
+// Sweep-throughput microbenchmarks over the partition/run/merge triad.
+//
+// The sweep is the population-scale workload the ROADMAP points at
+// (millions of scenarios); these benches put a scenarios/s number on a
+// fixed mid-size grid so the trajectory is trackable per PR
+// (BENCH_perf_sweep.json via --json):
+//
+//   BM_Sweep_SingleShard     — run_sweep(): the plan->run->merge of one
+//                              full-range shard every caller gets.
+//   BM_Sweep_FourShardMerge  — the same grid split 4 ways, each shard
+//                              run in-process, then merged. The gap to
+//                              SingleShard is the sharding overhead
+//                              (per-shard pool spin-up + merge), i.e.
+//                              what distribution costs before any
+//                              transport is involved.
+//   BM_Sweep_MergeOnly       — merge() alone on pre-run shards: the
+//                              coordinator-side cost of combining
+//                              results that arrive from elsewhere.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sweep/sweep.hpp"
+
+namespace {
+
+using namespace rtft;
+
+/// A fixed mid-size grid: 8 cells x 12 scenarios, two detector costs —
+/// large enough that per-scenario work dominates, small enough for a
+/// benchmark iteration. Deliberately constant across PRs: the JSON
+/// trajectory is only comparable against an unchanged workload.
+sweep::SweepOptions bench_options() {
+  sweep::SweepOptions opts;
+  opts.scenario_count = 96;
+  opts.workers = 2;
+  opts.base_seed = 2006;
+  opts.grid.task_counts = {3, 5};
+  opts.grid.utilizations = {0.6, 0.9};
+  opts.grid.detector_costs = {Duration::zero(), Duration::us(200)};
+  return opts;
+}
+
+void report_rate(benchmark::State& state, std::uint64_t per_iter) {
+  const double scenarios = static_cast<double>(per_iter) *
+                           static_cast<double>(state.iterations());
+  state.counters["scenarios/s"] =
+      benchmark::Counter(scenarios, benchmark::Counter::kIsRate);
+  state.counters["sec/event"] = benchmark::Counter(
+      scenarios, benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["scenarios/iter"] =
+      benchmark::Counter(static_cast<double>(per_iter));
+}
+
+void BM_Sweep_SingleShard(benchmark::State& state) {
+  const sweep::SweepOptions opts = bench_options();
+  for (auto _ : state) {
+    const sweep::SweepReport report = sweep::run_sweep(opts);
+    benchmark::DoNotOptimize(report.fingerprint);
+  }
+  report_rate(state, opts.scenario_count);
+}
+BENCHMARK(BM_Sweep_SingleShard)->Unit(benchmark::kMillisecond);
+
+void BM_Sweep_FourShardMerge(benchmark::State& state) {
+  const sweep::SweepOptions opts = bench_options();
+  const sweep::SweepPlan plan(opts);
+  for (auto _ : state) {
+    std::vector<sweep::ShardResult> shards;
+    shards.reserve(4);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      shards.push_back(sweep::run_shard(plan.shard(i, 4), plan.options()));
+    }
+    const sweep::SweepReport report = sweep::merge(shards);
+    benchmark::DoNotOptimize(report.fingerprint);
+  }
+  report_rate(state, opts.scenario_count);
+}
+BENCHMARK(BM_Sweep_FourShardMerge)->Unit(benchmark::kMillisecond);
+
+void BM_Sweep_MergeOnly(benchmark::State& state) {
+  const sweep::SweepOptions opts = bench_options();
+  const sweep::SweepPlan plan(opts);
+  std::vector<sweep::ShardResult> shards;
+  shards.reserve(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    shards.push_back(sweep::run_shard(plan.shard(i, 4), plan.options()));
+  }
+  for (auto _ : state) {
+    const sweep::SweepReport report = sweep::merge(shards);
+    benchmark::DoNotOptimize(report.fingerprint);
+  }
+  report_rate(state, opts.scenario_count);
+}
+BENCHMARK(BM_Sweep_MergeOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace

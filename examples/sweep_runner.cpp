@@ -6,8 +6,10 @@
 //                [--detector-cost-us c1,c2,...]
 //                [--stop-latency-us l1,l2,...] [--policy NAME]
 //                [--horizon-periods K] [--event-queue wheel|heap]
-//                [--verdicts] [--full-traces]
+//                [--verdicts] [--full-traces] [--progress]
 //                [--csv FILE] [--cells-csv FILE] [--json FILE]
+//                [--shard I/N [--emit-shard FILE]]
+//   sweep_runner --merge FILE...
 //
 // Defaults run 1000 scenarios on 4 workers over the default grid
 // (3/5/8 tasks x U 0.5/0.7/0.9 x free detectors x zero stop latency).
@@ -20,12 +22,29 @@
 // implementation — wheel (default) and heap are trace-equivalent, so
 // the fingerprint must not depend on it.
 //
+// --shard I/N runs only shard I (0-based) of an N-way contiguous
+// partition of the scenario index space and, with --emit-shard, writes
+// the result as a versioned JSON shard file. --merge combines shard
+// files — any order, any mix of per-shard worker counts or event-queue
+// modes — into the report the single-process run would have produced,
+// with the identical fingerprint. The two-process pattern:
+//
+//   sweep_runner --shard 0/2 --emit-shard a.json &   # host A
+//   sweep_runner --shard 1/2 --emit-shard b.json     # host B
+//   sweep_runner --merge a.json b.json               # anywhere
+//
+// --progress prints a stderr progress line (scenarios completed); it is
+// purely observational and never moves the fingerprint.
+//
 // --csv exports one row per scenario verdict, --cells-csv one row per
 // grid cell, --json the whole report; "-" writes to stdout.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/strings.hpp"
@@ -44,10 +63,35 @@ using namespace rtft;
       "          [--detector-cost-us c1,c2,...]\n"
       "          [--stop-latency-us l1,l2,...] [--policy NAME]\n"
       "          [--horizon-periods K] [--event-queue wheel|heap]\n"
-      "          [--verdicts] [--full-traces]\n"
-      "          [--csv FILE] [--cells-csv FILE] [--json FILE]\n",
-      argv0);
+      "          [--verdicts] [--full-traces] [--progress]\n"
+      "          [--csv FILE] [--cells-csv FILE] [--json FILE]\n"
+      "          [--shard I/N [--emit-shard FILE]]\n"
+      "       %s --merge FILE...\n",
+      argv0, argv0);
   std::exit(2);
+}
+
+/// Reads a whole file ("-" = stdin); exits 2 on I/O failure.
+std::string read_file(const std::string& path) {
+  std::FILE* f = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open '%s' for reading\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::string content;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  if (f != stdin) std::fclose(f);
+  if (failed) {
+    std::fprintf(stderr, "error: failed reading '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  return content;
 }
 
 /// Writes `content` to `path` ("-" = stdout); exits 2 on I/O failure.
@@ -98,6 +142,13 @@ double parse_real(const char* flag, std::string_view value) {
 int main(int argc, char** argv) {
   sweep::SweepOptions opts;
   bool print_verdicts = false;
+  bool progress = false;
+  bool sweep_flags = false;  ///< any flag that configures a run.
+  bool have_shard = false;
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  std::string emit_shard_path;
+  std::vector<std::string> merge_paths;
   std::string csv_path;
   std::string cells_csv_path;
   std::string json_path;
@@ -108,11 +159,40 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
+    if (arg != "--merge" && arg != "--verdicts" && arg != "--csv" &&
+        arg != "--cells-csv" && arg != "--json" && arg != "--progress") {
+      sweep_flags = true;
+    }
     if (arg == "--scenarios") {
       opts.scenario_count =
           static_cast<std::uint64_t>(parse_count("--scenarios", value()));
     } else if (arg == "--workers") {
       opts.workers = static_cast<std::size_t>(parse_count("--workers", value()));
+    } else if (arg == "--shard") {
+      const std::string v = value();  // keep alive: split returns views.
+      const auto parts = split(v, '/');
+      if (parts.size() != 2) bad_value("--shard", v);
+      shard_index =
+          static_cast<std::uint64_t>(parse_count("--shard", parts[0]));
+      shard_count =
+          static_cast<std::uint64_t>(parse_count("--shard", parts[1]));
+      if (shard_count == 0 || shard_index >= shard_count) {
+        bad_value("--shard", v);
+      }
+      have_shard = true;
+    } else if (arg == "--emit-shard") {
+      emit_shard_path = value();
+    } else if (arg == "--merge") {
+      // Consumes the following path arguments, stopping at the next
+      // flag so --csv/--json/--verdicts can follow the file list
+      // ("-" reads a shard from stdin and is not a flag).
+      while (i + 1 < argc &&
+             std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        merge_paths.emplace_back(argv[++i]);
+      }
+      if (merge_paths.empty()) usage(argv[0]);
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--seed") {
       const std::string v = value();
       std::int64_t seed = 0;
@@ -173,15 +253,119 @@ int main(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (opts.scenario_count == 0 || opts.grid.task_counts.empty() ||
-      opts.grid.utilizations.empty() || opts.grid.detector_costs.empty() ||
-      opts.grid.stop_poll_latencies.empty()) {
+  // The three modes are exclusive: a full sweep, one shard of a sweep,
+  // or a merge of previously emitted shard files (which take every
+  // sweep-defining option from the files themselves).
+  if (!merge_paths.empty() && (have_shard || sweep_flags)) usage(argv[0]);
+  if (!emit_shard_path.empty() && !have_shard) usage(argv[0]);
+  // Exports describe a full SweepReport; a shard run has only its slice.
+  if (have_shard && (print_verdicts || !csv_path.empty() ||
+                     !cells_csv_path.empty() || !json_path.empty())) {
     usage(argv[0]);
+  }
+  if (merge_paths.empty() &&
+      (opts.scenario_count == 0 || opts.grid.task_counts.empty() ||
+       opts.grid.utilizations.empty() || opts.grid.detector_costs.empty() ||
+       opts.grid.stop_poll_latencies.empty())) {
+    usage(argv[0]);
+  }
+
+  if (progress) {
+    // Throttled stderr line, ~1% steps; \r keeps it to one line on a
+    // terminal. stderr so piped/teed stdout stays machine-readable.
+    // Workers report concurrently and a straggler's lower count can
+    // arrive after the 100% call, so check-and-print runs under one
+    // lock — otherwise a stale "99%" line could land after the final
+    // one. Contention is bounded by the ~1% throttle.
+    struct ProgressState {
+      std::mutex mutex;
+      std::uint64_t printed = 0;
+    };
+    auto state = std::make_shared<ProgressState>();
+    opts.on_progress = [state](std::uint64_t done, std::uint64_t total) {
+      const std::uint64_t step = total < 100 ? 1 : total / 100;
+      if (done % step != 0 && done != total) return;
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      if (done <= state->printed) return;
+      state->printed = done;
+      std::fprintf(stderr, "\r%llu/%llu scenarios (%3.0f%%)",
+                   static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(total),
+                   100.0 * static_cast<double>(done) /
+                       static_cast<double>(total));
+      if (done == total) std::fputc('\n', stderr);
+    };
+  }
+
+  if (have_shard) {
+    sweep::ShardResult shard;
+    try {
+      const sweep::SweepPlan plan(opts);
+      shard = sweep::run_shard(plan.shard(shard_index, shard_count),
+                               plan.options());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    // With --emit-shard - the JSON document owns stdout; the summary
+    // moves to stderr so the emitted stream stays loadable.
+    std::FILE* const summary = emit_shard_path == "-" ? stderr : stdout;
+    std::fprintf(summary,
+                 "shard %llu/%llu: scenarios [%llu, %llu) of %llu, "
+                 "seed %llu, %zu workers\n",
+                 static_cast<unsigned long long>(shard.shard.index),
+                 static_cast<unsigned long long>(shard.shard.shards),
+                 static_cast<unsigned long long>(shard.shard.begin),
+                 static_cast<unsigned long long>(shard.shard.end),
+                 static_cast<unsigned long long>(
+                     shard.options.scenario_count),
+                 static_cast<unsigned long long>(shard.options.base_seed),
+                 shard.options.workers);
+    std::fprintf(summary,
+                 "total %llu  schedulable %llu  engine-clean %llu  "
+                 "agreement-violations %llu  allowance-honored %llu/%llu\n",
+                 static_cast<unsigned long long>(shard.totals.total),
+                 static_cast<unsigned long long>(shard.totals.rta_schedulable),
+                 static_cast<unsigned long long>(shard.totals.engine_clean),
+                 static_cast<unsigned long long>(
+                     shard.totals.agreement_violations),
+                 static_cast<unsigned long long>(
+                     shard.totals.allowance_honored),
+                 static_cast<unsigned long long>(
+                     shard.totals.allowance_feasible));
+    std::fprintf(summary, "elapsed %.3fs (%.0f scenarios/s)\n",
+                 shard.elapsed_seconds,
+                 static_cast<double>(shard.totals.total) /
+                     (shard.elapsed_seconds > 0 ? shard.elapsed_seconds
+                                                : 1.0));
+    // Deliberately labeled "shard fingerprint": it is the standalone
+    // FNV-1a fold over this range, not the sweep fingerprint CI pins —
+    // only the merge reproduces that.
+    std::fprintf(summary, "shard fingerprint %016llx\n",
+                 static_cast<unsigned long long>(shard.fingerprint));
+    if (!emit_shard_path.empty()) {
+      write_file(emit_shard_path, sweep::shard_json(shard));
+    }
+    const bool sound =
+        shard.totals.agreement_violations == 0 &&
+        shard.totals.allowance_honored == shard.totals.allowance_feasible;
+    return sound ? 0 : 1;
   }
 
   sweep::SweepReport report;
   try {
-    report = sweep::run_sweep(opts);
+    if (!merge_paths.empty()) {
+      std::vector<sweep::ShardResult> shards;
+      shards.reserve(merge_paths.size());
+      for (const std::string& path : merge_paths) {
+        shards.push_back(sweep::load_shard_json(read_file(path)));
+      }
+      const std::size_t shard_files = shards.size();
+      report = sweep::merge(std::move(shards));
+      std::printf("merged %zu shard file(s)\n", shard_files);
+    } else {
+      report = sweep::run_sweep(opts);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -22,7 +22,12 @@ std::chrono::nanoseconds to_chrono(Duration d) {
 }  // namespace
 
 struct WallclockExecutor::Impl {
-  explicit Impl(WallclockOptions opts) : options(opts), recorder(1 << 14) {}
+  explicit Impl(WallclockOptions opts)
+      : options(opts),
+        owned_recorder(opts.sink == nullptr
+                           ? std::make_unique<trace::Recorder>(1 << 14)
+                           : nullptr),
+        sink(opts.sink != nullptr ? opts.sink : owned_recorder.get()) {}
 
   struct TaskRec {
     sched::TaskParams params;
@@ -33,7 +38,7 @@ struct WallclockExecutor::Impl {
   WallclockOptions options;
   std::vector<TaskRec> tasks;
 
-  // Shared scheduling state. The mutex guards the ready set, the recorder
+  // Shared scheduling state. The mutex guards the ready set, the sink
   // and all counters (CP.50: mutex lives with the data it guards).
   std::mutex mutex;
   std::condition_variable cv;
@@ -43,7 +48,10 @@ struct WallclockExecutor::Impl {
 
   TscClock clock;
   SteadyClock::time_point start_time;
-  trace::Recorder recorder;
+  /// Events go to a borrowed sink (the engine's observation seam); the
+  /// executor owns a Recorder only when the caller configured none.
+  std::unique_ptr<trace::Recorder> owned_recorder;
+  trace::Sink* sink;
   bool ran = false;
 
   /// True when task `self` outranks every other ready task (FIFO among
@@ -78,8 +86,8 @@ struct WallclockExecutor::Impl {
         std::lock_guard lock(mutex);
         task.stats.released++;
         ready[self] = true;
-        recorder.record(trace_now(), trace::EventKind::kJobRelease,
-                        static_cast<std::uint32_t>(self), job);
+        sink->record(trace_now(), trace::EventKind::kJobRelease,
+                     static_cast<std::uint32_t>(self), job);
       }
       cv.notify_all();
 
@@ -97,8 +105,8 @@ struct WallclockExecutor::Impl {
           if (!holds_cpu(self)) continue;
           if (!started) {
             started = true;
-            recorder.record(trace_now(), trace::EventKind::kJobStart,
-                            static_cast<std::uint32_t>(self), job);
+            sink->record(trace_now(), trace::EventKind::kJobStart,
+                         static_cast<std::uint32_t>(self), job);
           }
         }
         // Execute one slice outside the lock.
@@ -130,11 +138,11 @@ struct WallclockExecutor::Impl {
           if (r > task.stats.max_response) task.stats.max_response = r;
           if (r > task.params.deadline) {
             task.stats.missed++;
-            recorder.record(trace_now(), trace::EventKind::kDeadlineMiss,
-                            static_cast<std::uint32_t>(self), job);
+            sink->record(trace_now(), trace::EventKind::kDeadlineMiss,
+                         static_cast<std::uint32_t>(self), job);
           }
-          recorder.record(trace_now(), trace::EventKind::kJobEnd,
-                          static_cast<std::uint32_t>(self), job, r.count());
+          sink->record(trace_now(), trace::EventKind::kJobEnd,
+                       static_cast<std::uint32_t>(self), job, r.count());
         }
       }
       cv.notify_all();
@@ -187,7 +195,9 @@ const rt::TaskStats& WallclockExecutor::stats(rt::TaskHandle task) const {
 }
 
 const trace::Recorder& WallclockExecutor::recorder() const {
-  return impl_->recorder;
+  RTFT_EXPECTS(impl_->owned_recorder != nullptr,
+               "recorder(): events went to the configured sink");
+  return *impl_->owned_recorder;
 }
 
 }  // namespace rtft::posix

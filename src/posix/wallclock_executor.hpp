@@ -28,6 +28,7 @@
 #include "runtime/engine.hpp"  // CostModel, TaskStats
 #include "sched/task.hpp"
 #include "trace/recorder.hpp"
+#include "trace/sink.hpp"
 
 namespace rtft::posix {
 
@@ -38,6 +39,13 @@ struct WallclockOptions {
   Duration slice = Duration::ms(1);
   /// Burn CPU for "execution" instead of sleeping through it.
   bool busy_spin = false;
+  /// Where trace events go (borrowed; must outlive the executor) — the
+  /// engine's Sink seam applied to the wall-clock substrate, so a sweep
+  /// can observe wall-clock runs through the same CountingSink it uses
+  /// for virtual-time runs. Null (the default) keeps the historical
+  /// behavior: the executor owns a full-fidelity Recorder, exposed
+  /// through recorder().
+  trace::Sink* sink = nullptr;
 };
 
 /// Runs periodic tasks against the wall clock. Threads are created by
@@ -59,6 +67,9 @@ class WallclockExecutor {
   /// Post-run statistics (same shape as the virtual engine's).
   [[nodiscard]] const rt::TaskStats& stats(rt::TaskHandle task) const;
   /// Post-run trace with TSC timestamps (release/start/end/miss events).
+  /// Only meaningful when no external sink was configured — events then
+  /// went to WallclockOptions::sink, and this throws ContractViolation
+  /// (mirroring FaultTolerantSystem::recorder()).
   [[nodiscard]] const trace::Recorder& recorder() const;
 
  private:

@@ -8,11 +8,31 @@
 //   cells_csv    — one row per grid cell with aggregate counters;
 //   report_json  — options, totals, cells, kept verdicts, fingerprint.
 //
-// 64-bit seeds and the fingerprint are emitted as hex strings: JSON
-// numbers lose integer precision beyond 2^53.
+// Plus the shard interchange format that lets the partition/run/merge
+// triad cross process and host boundaries:
+//
+//   shard_json      — one ShardResult as a versioned ("rtft-shard" v1)
+//                     JSON document: the producing options and grid, the
+//                     index range, per-cell aggregates, every verdict
+//                     (the shard's fingerprint contribution — FNV-1a
+//                     state is sequential, so merge re-folds verdict
+//                     fields in index order), and the shard's standalone
+//                     fingerprint;
+//   load_shard_json — the inverse, with full validation: malformed
+//                     documents, foreign formats/versions, ranges that
+//                     do not match the verdicts, aggregates that do not
+//                     match the verdicts, and fingerprint mismatches
+//                     (bit rot, tampering, version skew) all throw
+//                     ShardError with a message naming the defect.
+//
+// 64-bit seeds and fingerprints are emitted as hex strings: JSON
+// numbers lose integer precision beyond 2^53. Doubles are %.17g, which
+// round-trips bit-exactly — a loaded shard merges to the same
+// fingerprint the in-process ShardResult would have.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "sweep/sweep.hpp"
 
@@ -27,6 +47,24 @@ namespace rtft::sweep {
 
 /// The whole report as one JSON document.
 [[nodiscard]] std::string report_json(const SweepReport& report);
+
+/// The shard-file format identity. The version bumps on any change to
+/// the document's structure or field semantics; the loader rejects
+/// everything it was not written to understand.
+inline constexpr std::string_view kShardFormatName = "rtft-shard";
+inline constexpr std::int64_t kShardFormatVersion = 1;
+
+/// One ShardResult as a self-contained, versioned JSON document.
+[[nodiscard]] std::string shard_json(const ShardResult& shard);
+
+/// Parses and validates a shard_json document. Beyond syntax, the
+/// loader re-derives everything derivable — verdict indices, seeds and
+/// cells from the options; totals and per-cell aggregates from the
+/// verdicts; the fingerprint from a fresh FNV-1a fold — and requires
+/// each to equal what the document claims, so a shard that loads
+/// cleanly merges exactly like the in-process result it serialized.
+/// Throws ShardError (with the defect named) on any violation.
+[[nodiscard]] ShardResult load_shard_json(std::string_view json);
 
 namespace detail {
 

@@ -26,7 +26,6 @@ namespace {
 // Deterministic fingerprinting (FNV-1a 64).
 // ---------------------------------------------------------------------------
 
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
 
 void fnv_mix(std::uint64_t& h, std::uint64_t v) {
@@ -43,7 +42,20 @@ std::uint64_t bits_of(double d) {
   return u;
 }
 
-void fingerprint_verdict(std::uint64_t& h, const ScenarioVerdict& v) {
+// ---------------------------------------------------------------------------
+// Per-scenario execution.
+// ---------------------------------------------------------------------------
+
+Duration max_period(const sched::TaskSet& ts) {
+  Duration m = Duration::zero();
+  for (const auto& t : ts) m = std::max(m, t.period);
+  return m;
+}
+
+}  // namespace
+
+void Fingerprint::add(const ScenarioVerdict& v) {
+  std::uint64_t& h = h_;
   fnv_mix(h, v.index);
   fnv_mix(h, v.seed);
   fnv_mix(h, v.cell);
@@ -68,18 +80,6 @@ void fingerprint_verdict(std::uint64_t& h, const ScenarioVerdict& v) {
 }
 
 // ---------------------------------------------------------------------------
-// Per-scenario execution.
-// ---------------------------------------------------------------------------
-
-Duration max_period(const sched::TaskSet& ts) {
-  Duration m = Duration::zero();
-  for (const auto& t : ts) m = std::max(m, t.period);
-  return m;
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
 // Aggregates.
 // ---------------------------------------------------------------------------
 
@@ -94,6 +94,17 @@ void SweepAggregate::add(const ScenarioVerdict& v) {
     if (v.allowance_honored) ++allowance_honored;
   }
   if (v.detector_clean) ++detector_clean;
+}
+
+void SweepAggregate::merge(const SweepAggregate& other) {
+  total += other.total;
+  rta_schedulable += other.rta_schedulable;
+  engine_clean += other.engine_clean;
+  agreement_violations += other.agreement_violations;
+  allowance_feasible += other.allowance_feasible;
+  allowance_honored += other.allowance_honored;
+  detector_clean += other.detector_clean;
+  allowance_sum += other.allowance_sum;
 }
 
 double SweepAggregate::mean_allowance_ms() const {
@@ -137,6 +148,21 @@ ScenarioSpec scenario_spec(const SweepOptions& opts, std::uint64_t index) {
   spec.stop_poll_latency = g.stop_poll_latencies[s_i];
   return spec;
 }
+
+namespace detail {
+
+void fill_cell_metadata(const SweepOptions& opts,
+                        std::vector<CellSummary>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const ScenarioSpec spec = scenario_spec(opts, c);
+    cells[c].task_count = spec.tasks.tasks;
+    cells[c].utilization = spec.tasks.total_utilization;
+    cells[c].detector_cost = spec.detector_cost;
+    cells[c].stop_poll_latency = spec.stop_poll_latency;
+  }
+}
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // One scenario.
@@ -298,10 +324,10 @@ ScenarioVerdict run_scenario(const ScenarioSpec& spec,
 }
 
 // ---------------------------------------------------------------------------
-// The pool.
+// The plan: validation + deterministic partitioning.
 // ---------------------------------------------------------------------------
 
-SweepReport run_sweep(const SweepOptions& opts) {
+SweepPlan::SweepPlan(const SweepOptions& opts) : opts_(opts) {
   // Validate here, on the calling thread: a bad grid must surface as one
   // ContractViolation, not a std::terminate from every worker at once.
   RTFT_EXPECTS(opts.scenario_count > 0, "sweep needs at least one scenario");
@@ -329,19 +355,53 @@ SweepReport run_sweep(const SweepOptions& opts) {
   RTFT_EXPECTS(opts.grid.min_period.is_positive() &&
                    opts.grid.max_period >= opts.grid.min_period,
                "period range must be positive and ordered");
-  SweepOptions resolved = opts;
-  if (resolved.workers == 0) {
+  if (opts_.workers == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
-    resolved.workers = hw == 0 ? 1 : hw;
+    opts_.workers = hw == 0 ? 1 : hw;
   }
-  const std::uint64_t count = resolved.scenario_count;
-  const std::size_t workers = static_cast<std::size_t>(
-      std::min<std::uint64_t>(resolved.workers, count));
+}
+
+ShardSpec SweepPlan::shard(std::uint64_t i, std::uint64_t n) const {
+  RTFT_EXPECTS(n > 0, "a plan splits into at least one shard");
+  RTFT_EXPECTS(i < n, "shard index must be below the shard count");
+  // Contiguous, balanced to within one: the first `count % n` shards
+  // take one extra scenario. Pure arithmetic — every process computes
+  // the same ranges from equal options.
+  const std::uint64_t count = opts_.scenario_count;
+  const std::uint64_t quota = count / n;
+  const std::uint64_t extra = count % n;
+  ShardSpec spec;
+  spec.index = i;
+  spec.shards = n;
+  spec.begin = i * quota + std::min<std::uint64_t>(i, extra);
+  spec.end = spec.begin + quota + (i < extra ? 1 : 0);
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Running one shard: the worker pool.
+// ---------------------------------------------------------------------------
+
+ShardResult run_shard(const ShardSpec& shard, const SweepOptions& opts) {
+  const SweepPlan plan(opts);  // validates, resolves workers.
+  RTFT_EXPECTS(shard.begin <= shard.end,
+               "shard range must be ordered: begin <= end");
+  RTFT_EXPECTS(shard.end <= plan.scenario_count(),
+               "shard range must lie within the sweep's scenario count");
+  RTFT_EXPECTS(shard.shards > 0 && shard.index < shard.shards,
+               "shard index must be below the shard count");
+  SweepOptions resolved = plan.options();
+  const std::uint64_t count = shard.count();
+  // Never more threads than scenarios; an empty shard keeps one worker
+  // slot (no thread runs — the pool below is skipped entirely).
+  const std::size_t workers = static_cast<std::size_t>(std::min<std::uint64_t>(
+      resolved.workers, std::max<std::uint64_t>(count, 1)));
   resolved.workers = workers;
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<ScenarioVerdict> verdicts(count);
   std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> completed{0};
   // A throw inside a std::thread body would call std::terminate; capture
   // the first failure instead, stop handing out work, and rethrow on the
   // calling thread after the pool has drained.
@@ -356,7 +416,12 @@ SweepReport run_sweep(const SweepOptions& opts) {
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count || failed.load(std::memory_order_relaxed)) return;
       try {
-        verdicts[i] = runner.run(scenario_spec(resolved, i));
+        verdicts[i] = runner.run(scenario_spec(resolved, shard.begin + i));
+        if (resolved.on_progress) {
+          const std::uint64_t done =
+              completed.fetch_add(1, std::memory_order_relaxed) + 1;
+          resolved.on_progress(done, count);
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(failure_mutex);
         if (!failure) failure = std::current_exception();
@@ -365,37 +430,194 @@ SweepReport run_sweep(const SweepOptions& opts) {
       }
     }
   };
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w + 1 < workers; ++w) pool.emplace_back(worker);
-  worker();  // the calling thread participates.
-  for (std::thread& t : pool) t.join();
-  if (failure) std::rethrow_exception(failure);
+  if (count > 0) {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w + 1 < workers; ++w) pool.emplace_back(worker);
+    worker();  // the calling thread participates.
+    for (std::thread& t : pool) t.join();
+    if (failure) std::rethrow_exception(failure);
+  }
   const auto t1 = std::chrono::steady_clock::now();
 
   // Serial aggregation in index order: deterministic whatever the
   // completion order above was.
-  SweepReport report;
-  report.options = resolved;
-  report.cells.resize(resolved.grid.cell_count());
-  std::uint64_t h = kFnvOffset;
+  ShardResult result;
+  result.options = resolved;
+  result.shard = shard;
+  result.cells.resize(resolved.grid.cell_count());
+  Fingerprint fp;
   for (const ScenarioVerdict& v : verdicts) {
-    report.totals.add(v);
-    report.cells[v.cell].agg.add(v);
-    fingerprint_verdict(h, v);
+    result.totals.add(v);
+    result.cells[v.cell].agg.add(v);
+    fp.add(v);
   }
-  report.fingerprint = h;
-  for (std::uint64_t c = 0; c < report.cells.size(); ++c) {
-    const ScenarioSpec spec = scenario_spec(resolved, c);
-    report.cells[c].task_count = spec.tasks.tasks;
-    report.cells[c].utilization = spec.tasks.total_utilization;
-    report.cells[c].detector_cost = spec.detector_cost;
-    report.cells[c].stop_poll_latency = spec.stop_poll_latency;
+  result.fingerprint = fp.value();
+  detail::fill_cell_metadata(resolved, result.cells);
+  result.verdicts = std::move(verdicts);
+  result.elapsed_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Merging shards back into one report.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void merge_error(std::size_t shard_pos, const std::string& why) {
+  throw ShardError("cannot merge shard #" + std::to_string(shard_pos) + ": " +
+                   why);
+}
+
+/// True when two option sets define the same scenario population —
+/// every field a verdict depends on. Workers, observation mode and the
+/// event-queue implementation are excluded on purpose: they are proven
+/// not to affect verdicts, so shards run with different worker counts
+/// (or one per queue mode) merge fine.
+bool same_scenario_identity(const SweepOptions& a, const SweepOptions& b) {
+  return a.scenario_count == b.scenario_count && a.base_seed == b.base_seed &&
+         a.horizon_periods == b.horizon_periods &&
+         a.allowance_granularity == b.allowance_granularity &&
+         a.detector_policy == b.detector_policy &&
+         a.grid.task_counts == b.grid.task_counts &&
+         a.grid.utilizations == b.grid.utilizations &&
+         a.grid.detector_costs == b.grid.detector_costs &&
+         a.grid.stop_poll_latencies == b.grid.stop_poll_latencies &&
+         a.grid.deadline_min_factor == b.grid.deadline_min_factor &&
+         a.grid.deadline_max_factor == b.grid.deadline_max_factor &&
+         a.grid.min_period == b.grid.min_period &&
+         a.grid.max_period == b.grid.max_period;
+}
+
+/// Shared merge implementation over shards in arbitrary input order.
+/// `take_verdicts` moves each shard's verdict vector into the report
+/// (the pointees are then consumed); false copies and never mutates.
+SweepReport merge_shards(const std::vector<ShardResult*>& input,
+                         bool take_verdicts) {
+  if (input.empty()) {
+    throw ShardError("cannot merge an empty shard list");
   }
-  report.elapsed_seconds =
-      std::chrono::duration<double>(t1 - t0).count();
-  if (resolved.keep_verdicts) report.verdicts = std::move(verdicts);
+  // Index order = fingerprint order. Accept any input order; sort by
+  // range start and then require an exact tiling of [0, count).
+  std::vector<ShardResult*> ordered = input;
+  // (begin, end) — not begin alone: an empty shard [b, b) must order
+  // before a non-empty [b, e) or the tiling walk below would reject a
+  // valid tiling depending on std::sort's unspecified tie order.
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ShardResult* a, const ShardResult* b) {
+              return a->shard.begin != b->shard.begin
+                         ? a->shard.begin < b->shard.begin
+                         : a->shard.end < b->shard.end;
+            });
+
+  const SweepOptions& base = ordered.front()->options;
+  const std::size_t cells = base.grid.cell_count();
+  std::uint64_t expected_begin = 0;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const ShardResult& s = *ordered[i];
+    if (!same_scenario_identity(base, s.options)) {
+      // Name the shard by its range — positions here follow the sorted
+      // order, not the caller's input order, so a bare index would not
+      // identify the offending file.
+      merge_error(i, "the shard covering [" + std::to_string(s.shard.begin) +
+                         ", " + std::to_string(s.shard.end) +
+                         ") belongs to a different sweep (seed, grid, "
+                         "policy or scenario count differ)");
+    }
+    if (s.shard.begin != expected_begin) {
+      merge_error(i, "shard ranges must tile the index space contiguously: "
+                     "expected a shard starting at scenario " +
+                         std::to_string(expected_begin) + ", got [" +
+                         std::to_string(s.shard.begin) + ", " +
+                         std::to_string(s.shard.end) + ")");
+    }
+    if (s.verdicts.size() != s.shard.count()) {
+      merge_error(i, "verdict count does not match the shard's index range");
+    }
+    if (s.cells.size() != cells) {
+      merge_error(i, "cell count does not match the sweep grid");
+    }
+    expected_begin = s.shard.end;
+  }
+  if (expected_begin != base.scenario_count) {
+    throw ShardError(
+        "shards cover only [0, " + std::to_string(expected_begin) +
+        ") of the sweep's " + std::to_string(base.scenario_count) +
+        " scenarios");
+  }
+
+  SweepReport report;
+  report.options = base;
+  report.cells.resize(cells);
+  // Chain the fingerprint across shards by re-folding every verdict's
+  // fields in index order: FNV-1a state is sequential, so this — not a
+  // combination of the per-shard hashes — is what reproduces the
+  // single-process value bit for bit.
+  Fingerprint fp;
+  std::vector<ScenarioVerdict> verdicts;
+  // Reserve unless the single-shard move below adopts the vector whole.
+  if (base.keep_verdicts && !(take_verdicts && ordered.size() == 1)) {
+    verdicts.reserve(base.scenario_count);
+  }
+  for (ShardResult* s : ordered) {
+    report.totals.merge(s->totals);
+    for (std::size_t c = 0; c < cells; ++c) {
+      report.cells[c].agg.merge(s->cells[c].agg);
+    }
+    for (const ScenarioVerdict& v : s->verdicts) fp.add(v);
+    if (base.keep_verdicts) {
+      if (take_verdicts && ordered.size() == 1) {
+        // The single-shard fast path (run_sweep): adopt the vector
+        // whole — a full sweep never holds its verdicts twice.
+        verdicts = std::move(s->verdicts);
+      } else {
+        verdicts.insert(verdicts.end(), s->verdicts.begin(),
+                        s->verdicts.end());
+        if (take_verdicts) {
+          // Consume as we go: peak memory stays at the report plus one
+          // shard, not the report plus every shard.
+          s->verdicts.clear();
+          s->verdicts.shrink_to_fit();
+        }
+      }
+    }
+    report.elapsed_seconds += s->elapsed_seconds;
+  }
+  report.fingerprint = fp.value();
+  report.verdicts = std::move(verdicts);
+  detail::fill_cell_metadata(base, report.cells);
   return report;
+}
+
+}  // namespace
+
+SweepReport merge(std::span<const ShardResult> shards) {
+  std::vector<ShardResult*> input;
+  input.reserve(shards.size());
+  for (const ShardResult& s : shards) {
+    // Safe cast: merge_shards(..., false) never mutates the pointees.
+    input.push_back(const_cast<ShardResult*>(&s));
+  }
+  return merge_shards(input, /*take_verdicts=*/false);
+}
+
+SweepReport merge(std::vector<ShardResult>&& shards) {
+  std::vector<ShardResult*> input;
+  input.reserve(shards.size());
+  for (ShardResult& s : shards) input.push_back(&s);
+  return merge_shards(input, /*take_verdicts=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// The single-process convenience.
+// ---------------------------------------------------------------------------
+
+SweepReport run_sweep(const SweepOptions& opts) {
+  const SweepPlan plan(opts);
+  std::vector<ShardResult> whole;
+  whole.push_back(run_shard(plan.shard(0, 1), plan.options()));
+  return merge(std::move(whole));
 }
 
 // ---------------------------------------------------------------------------

@@ -20,10 +20,27 @@
 // scenario count) regardless of worker count or thread scheduling: every
 // scenario's verdict is a pure function of its derived seed, and verdicts
 // are stored by scenario index, not completion order.
+//
+// The sweep API is a partition/run/merge triad, so the scenario index
+// space can be split across threads, processes or hosts:
+//
+//   SweepPlan plan(opts);                  // validate once, partition
+//   ShardSpec s   = plan.shard(i, n);      // contiguous index range i/n
+//   ShardResult r = run_shard(s, opts);    // any process, any workers
+//   SweepReport report = merge(shards);    // == single-process run,
+//                                          //    bit for bit
+//
+// run_sweep() is the single-process convenience: plan -> run -> merge of
+// one shard covering everything. Shards serialize to versioned JSON
+// (sweep/export.hpp: shard_json / load_shard_json) so the run step can
+// cross process and host boundaries.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -102,6 +119,19 @@ struct SweepOptions {
   /// by construction (the engine's dispatch order is total); the knob
   /// exists for the equivalence tests and for benchmarking the oracle.
   rt::EventQueueMode event_queue = rt::EventQueueMode::kTimingWheel;
+  /// Progress hook: invoked once per completed scenario with
+  /// (scenarios completed so far, scenarios in this run) — for a shard
+  /// run, "this run" is the shard. Called concurrently from worker
+  /// threads, so the callback must be thread-safe. On a non-empty run
+  /// exactly one call reports (total, total) — an empty shard makes no
+  /// calls at all — but invocation order is nondeterministic —
+  /// a straggling worker's lower count can arrive after it, so treat
+  /// run_shard/run_sweep returning (not the counter) as the end-of-run
+  /// signal and keep displays monotone (see sweep_runner). Purely
+  /// observational: verdicts, aggregates and fingerprints are identical
+  /// with or without it. Empty (the default) costs nothing.
+  std::function<void(std::uint64_t completed, std::uint64_t total)>
+      on_progress;
 };
 
 /// Outcome of one scenario. Every field is a pure function of the spec.
@@ -146,6 +176,10 @@ struct SweepAggregate {
   Duration allowance_sum;  ///< over allowance_feasible scenarios.
 
   void add(const ScenarioVerdict& v);
+  /// Adds another aggregate's counts — how shard totals combine. Sums
+  /// are associative, so merging per-shard aggregates in any grouping
+  /// reproduces the single-pass aggregate exactly.
+  void merge(const SweepAggregate& other);
   /// Mean equitable allowance over the feasible scenarios.
   [[nodiscard]] double mean_allowance_ms() const;
 };
@@ -181,6 +215,116 @@ struct SweepReport {
 /// The spec for scenario `index` of a sweep (pure function of options).
 [[nodiscard]] ScenarioSpec scenario_spec(const SweepOptions& opts,
                                          std::uint64_t index);
+
+namespace detail {
+/// Fills every cell's grid coordinates (task count, utilization,
+/// detector cost, stop-poll latency) from the options, leaving the
+/// aggregates untouched. One definition shared by run_shard, merge and
+/// the shard-file loader so the metadata cannot drift between them.
+void fill_cell_metadata(const SweepOptions& opts,
+                        std::vector<CellSummary>& cells);
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// The partition/run/merge triad.
+// ---------------------------------------------------------------------------
+
+/// Thrown when shard inputs cannot be combined or loaded: malformed or
+/// tampered shard files, shards from different sweeps, ranges that do
+/// not tile the index space. Ordinary (recoverable) error reporting —
+/// unlike ContractViolation, which flags caller bugs.
+class ShardError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A contiguous half-open range [begin, end) of scenario indices —
+/// shard `index` of `shards` in a SweepPlan partition. The unit of
+/// distribution: every scenario's verdict is a pure function of
+/// (options, index), so a shard can run in any process on any host.
+struct ShardSpec {
+  std::uint64_t index = 0;   ///< which shard: 0 <= index < shards.
+  std::uint64_t shards = 1;  ///< how many shards the plan was split into.
+  std::uint64_t begin = 0;   ///< first scenario index (inclusive).
+  std::uint64_t end = 0;     ///< one past the last scenario index.
+
+  [[nodiscard]] std::uint64_t count() const { return end - begin; }
+};
+
+/// Validated, resolved sweep options plus the deterministic partition of
+/// the scenario index space. Construction performs all option checks
+/// (one ContractViolation on the calling thread, never a worker crash)
+/// and resolves workers == 0 to the hardware concurrency; shard() is
+/// then a pure function, so cooperating processes that construct the
+/// plan from equal options agree on every range without coordination.
+class SweepPlan {
+ public:
+  explicit SweepPlan(const SweepOptions& opts);
+
+  [[nodiscard]] const SweepOptions& options() const { return opts_; }
+  [[nodiscard]] std::uint64_t scenario_count() const {
+    return opts_.scenario_count;
+  }
+  /// Shard `i` of `n`: contiguous ranges that tile [0, scenario_count)
+  /// in index order, sizes equal to within one (the first
+  /// scenario_count % n shards take the extra scenario). n may exceed
+  /// the scenario count; trailing shards are then empty.
+  [[nodiscard]] ShardSpec shard(std::uint64_t i, std::uint64_t n) const;
+
+ private:
+  SweepOptions opts_;
+};
+
+/// The sweep fingerprint as a running FNV-1a fold over verdicts in
+/// index order. Exposed so that merge() and the shard-file loader chain
+/// or recompute the exact same hash the single-process sweep produces.
+class Fingerprint {
+ public:
+  /// Folds one verdict's deterministic fields into the state.
+  void add(const ScenarioVerdict& v);
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis.
+};
+
+/// Outcome of one shard: the shard's slice of every SweepReport field.
+/// Verdicts are always kept — they are the shard's fingerprint
+/// contribution (FNV-1a state is sequential, so merge() re-folds the
+/// verdict fields in index order; a lone hash could not be chained) —
+/// and SweepOptions::keep_verdicts decides only whether the *merged*
+/// report retains them.
+struct ShardResult {
+  SweepOptions options;  ///< as resolved by the plan (workers filled in).
+  ShardSpec shard;
+  SweepAggregate totals;           ///< this shard's scenarios only.
+  std::vector<CellSummary> cells;  ///< grid order; partial counts.
+  std::vector<ScenarioVerdict> verdicts;  ///< index order, always kept.
+  /// FNV-1a fold over this shard's verdicts from the offset basis: a
+  /// pure function of (seed, grid, range) for cross-process spot checks
+  /// and loader validation. Equals the sweep fingerprint only for a
+  /// shard covering the whole index space.
+  std::uint64_t fingerprint = 0;
+  double elapsed_seconds = 0.0;  ///< not part of the deterministic state.
+};
+
+/// Runs one shard on `opts.workers` threads (clamped to the shard size).
+/// The per-worker ScenarioRunner is the unit of execution, exactly as in
+/// a single-process sweep. Deterministic minus elapsed_seconds.
+[[nodiscard]] ShardResult run_shard(const ShardSpec& shard,
+                                    const SweepOptions& opts);
+
+/// Combines shard results into the SweepReport the single-process sweep
+/// would have produced — totals, per-cell aggregates and fingerprint are
+/// bit-identical for any shard count and any per-shard worker count.
+/// Shards may arrive in any order but must come from the same sweep
+/// (equal seed/grid/policy identity) and tile [0, scenario_count)
+/// exactly; anything else throws ShardError.
+[[nodiscard]] SweepReport merge(std::span<const ShardResult> shards);
+/// Owning overload: moves the shards' verdicts into the report instead
+/// of copying them — what run_sweep and the CLI use, so a
+/// million-scenario sweep never holds its verdicts twice.
+[[nodiscard]] SweepReport merge(std::vector<ShardResult>&& shards);
 
 /// Per-worker reusable execution context: one engine and one sink,
 /// re-armed between scenarios, so a sweep pays no per-scenario engine or
@@ -219,6 +363,9 @@ class ScenarioRunner {
 
 /// Fans `opts.scenario_count` scenarios across `opts.workers` threads and
 /// aggregates. Deterministic for fixed options (minus elapsed_seconds).
+/// A thin wrapper: plan -> run_shard of the one full-range shard ->
+/// merge, so every caller exercises the same code path a distributed
+/// sweep does.
 [[nodiscard]] SweepReport run_sweep(const SweepOptions& opts);
 
 }  // namespace rtft::sweep

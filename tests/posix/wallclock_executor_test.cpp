@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "trace/sink.hpp"
 
 namespace rtft::posix {
 namespace {
@@ -105,6 +106,41 @@ TEST(WallclockExecutor, MissesDetectedWhenOverloaded) {
   const rt::TaskStats& s = exec.stats(t);
   ASSERT_GE(s.completed, 1);
   EXPECT_EQ(s.missed, s.completed);
+}
+
+TEST(WallclockExecutor, RecordsThroughAConfiguredSink) {
+  // The executor is on the engine's Sink seam: a borrowed sink receives
+  // every event, no Recorder is owned, and recorder() refuses (the
+  // FtSystem contract). The CountingSink's per-task counters must
+  // mirror the executor's own statistics — both are maintained in the
+  // same critical sections.
+  WallclockOptions opts;
+  opts.horizon = 250_ms;
+  trace::CountingSink sink;
+  opts.sink = &sink;
+  WallclockExecutor exec(opts);
+  const rt::TaskHandle a = exec.add_task(task("a", 5, 5_ms, 40_ms));
+  const rt::TaskHandle b = exec.add_task(task("b", 3, 5_ms, 70_ms));
+  exec.run();
+  for (const rt::TaskHandle t : {a, b}) {
+    const rt::TaskStats& s = exec.stats(t);
+    const trace::TaskCounters& c =
+        sink.counters(static_cast<std::size_t>(t));
+    EXPECT_EQ(c.released, s.released);
+    EXPECT_EQ(c.completed, s.completed);
+    EXPECT_EQ(c.missed, s.missed);
+    EXPECT_GE(s.released, 1);
+  }
+  EXPECT_THROW((void)exec.recorder(), ContractViolation);
+}
+
+TEST(WallclockExecutor, OwnsARecorderOnlyWithoutASink) {
+  WallclockOptions opts;
+  opts.horizon = 100_ms;
+  WallclockExecutor exec(opts);
+  exec.add_task(task("t", 5, 5_ms, 40_ms));
+  exec.run();
+  EXPECT_GE(exec.recorder().size(), 1u);  // default path unchanged
 }
 
 TEST(WallclockExecutor, ApiMisuseRejected) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 
 #include "sched/feasibility.hpp"
@@ -243,6 +244,42 @@ TEST(Sweep, BadOptionsThrowBeforeAnyWorkerStarts) {
   opts = small_options();
   opts.scenario_count = 0;
   EXPECT_THROW((void)run_sweep(opts), ContractViolation);
+}
+
+TEST(Sweep, ProgressHookSeesEveryScenarioAndNeverMovesTheFingerprint) {
+  SweepOptions opts = small_options();
+  opts.scenario_count = 40;
+  const SweepReport plain = run_sweep(opts);
+  // The hook runs concurrently on worker threads: collect with atomics,
+  // assert afterwards.
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> final_done{0};
+  std::atomic<bool> total_consistent{true};
+  opts.on_progress = [&](std::uint64_t done, std::uint64_t total) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    if (total != 40) total_consistent.store(false);
+    if (done == total) final_done.store(done);
+  };
+  const SweepReport observed = run_sweep(opts);
+  EXPECT_EQ(calls.load(), 40u);  // one call per scenario
+  EXPECT_TRUE(total_consistent.load());
+  EXPECT_EQ(final_done.load(), 40u);  // the final call reports completion
+  EXPECT_EQ(observed.fingerprint, plain.fingerprint);
+}
+
+TEST(Sweep, ProgressHookOnAShardReportsShardLocalTotals) {
+  SweepOptions opts = small_options();
+  opts.scenario_count = 40;
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<bool> total_consistent{true};
+  opts.on_progress = [&](std::uint64_t, std::uint64_t total) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    if (total != 20) total_consistent.store(false);
+  };
+  const SweepPlan plan(opts);
+  (void)run_shard(plan.shard(0, 2), plan.options());
+  EXPECT_EQ(calls.load(), 20u);
+  EXPECT_TRUE(total_consistent.load());
 }
 
 TEST(Sweep, VerdictsCanBeDropped) {
