@@ -16,6 +16,12 @@
 // The summary ends with a deterministic fingerprint: identical arguments
 // reproduce it bit-for-bit whatever the worker count.
 //
+// The sweep-defining flags are parsed by sweep/cli.hpp (shared with the
+// coordinator, which drives this binary as its worker): every bad value
+// — non-numeric text, out-of-range, overflow, a malformed I/N shard
+// request — dies with a one-line "error: ..." naming the flag and the
+// offending value, exit 2.
+//
 // --stop-latency-us sweeps the cooperative stop-poll delay (§4.1); pair
 // it with a stopping --policy (e.g. instant-stop) so detected faults
 // actually request stops. --event-queue selects the engine's queue
@@ -33,21 +39,23 @@
 //   sweep_runner --shard 1/2 --emit-shard b.json     # host B
 //   sweep_runner --merge a.json b.json               # anywhere
 //
-// --progress prints a stderr progress line (scenarios completed); it is
-// purely observational and never moves the fingerprint.
+// (sweep_coordinator automates exactly this, with crash re-issue.)
+//
+// --progress prints a stderr progress stream: a '\r'-in-place human
+// line on a terminal, machine-parseable "progress D/T" lines on a pipe
+// (what the coordinator reads). Purely observational; never moves the
+// fingerprint.
 //
 // --csv exports one row per scenario verdict, --cells-csv one row per
 // grid cell, --json the whole report; "-" writes to stdout.
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
-#include "common/strings.hpp"
+#include "sweep/cli.hpp"
 #include "sweep/export.hpp"
 #include "sweep/sweep.hpp"
 
@@ -119,24 +127,6 @@ void write_file(const std::string& path, const std::string& content) {
   }
 }
 
-[[noreturn]] void bad_value(const char* flag, std::string_view value) {
-  std::fprintf(stderr, "error: invalid value '%.*s' for %s\n",
-               static_cast<int>(value.size()), value.data(), flag);
-  std::exit(2);
-}
-
-std::int64_t parse_count(const char* flag, std::string_view value) {
-  std::int64_t parsed = 0;
-  if (!parse_int64(value, parsed) || parsed < 0) bad_value(flag, value);
-  return parsed;
-}
-
-double parse_real(const char* flag, std::string_view value) {
-  double parsed = 0.0;
-  if (!parse_double(value, parsed)) bad_value(flag, value);
-  return parsed;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,164 +135,81 @@ int main(int argc, char** argv) {
   bool progress = false;
   bool sweep_flags = false;  ///< any flag that configures a run.
   bool have_shard = false;
-  std::uint64_t shard_index = 0;
-  std::uint64_t shard_count = 1;
+  sweep::cli::ShardRequest shard_request;
   std::string emit_shard_path;
   std::vector<std::string> merge_paths;
   std::string csv_path;
   std::string cells_csv_path;
   std::string json_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (arg != "--merge" && arg != "--verdicts" && arg != "--csv" &&
-        arg != "--cells-csv" && arg != "--json" && arg != "--progress") {
-      sweep_flags = true;
-    }
-    if (arg == "--scenarios") {
-      opts.scenario_count =
-          static_cast<std::uint64_t>(parse_count("--scenarios", value()));
-    } else if (arg == "--workers") {
-      opts.workers = static_cast<std::size_t>(parse_count("--workers", value()));
-    } else if (arg == "--shard") {
-      const std::string v = value();  // keep alive: split returns views.
-      const auto parts = split(v, '/');
-      if (parts.size() != 2) bad_value("--shard", v);
-      shard_index =
-          static_cast<std::uint64_t>(parse_count("--shard", parts[0]));
-      shard_count =
-          static_cast<std::uint64_t>(parse_count("--shard", parts[1]));
-      if (shard_count == 0 || shard_index >= shard_count) {
-        bad_value("--shard", v);
-      }
-      have_shard = true;
-    } else if (arg == "--emit-shard") {
-      emit_shard_path = value();
-    } else if (arg == "--merge") {
-      // Consumes the following path arguments, stopping at the next
-      // flag so --csv/--json/--verdicts can follow the file list
-      // ("-" reads a shard from stdin and is not a flag).
-      while (i + 1 < argc &&
-             std::string_view(argv[i + 1]).substr(0, 2) != "--") {
-        merge_paths.emplace_back(argv[++i]);
-      }
-      if (merge_paths.empty()) usage(argv[0]);
-    } else if (arg == "--progress") {
-      progress = true;
-    } else if (arg == "--seed") {
-      const std::string v = value();
-      std::int64_t seed = 0;
-      if (!parse_int64(v, seed)) bad_value("--seed", v);
-      opts.base_seed = static_cast<std::uint64_t>(seed);
-    } else if (arg == "--tasks") {
-      const std::string v = value();  // keep alive: split returns views.
-      opts.grid.task_counts.clear();
-      for (const std::string_view p : split(v, ','))
-        opts.grid.task_counts.push_back(
-            static_cast<std::size_t>(parse_count("--tasks", p)));
-    } else if (arg == "--util") {
-      const std::string v = value();
-      opts.grid.utilizations.clear();
-      for (const std::string_view p : split(v, ','))
-        opts.grid.utilizations.push_back(parse_real("--util", p));
-    } else if (arg == "--detector-cost-us") {
-      const std::string v = value();
-      opts.grid.detector_costs.clear();
-      for (const std::string_view p : split(v, ','))
-        opts.grid.detector_costs.push_back(
-            Duration::us(parse_count("--detector-cost-us", p)));
-    } else if (arg == "--stop-latency-us") {
-      const std::string v = value();
-      opts.grid.stop_poll_latencies.clear();
-      for (const std::string_view p : split(v, ','))
-        opts.grid.stop_poll_latencies.push_back(
-            Duration::us(parse_count("--stop-latency-us", p)));
-    } else if (arg == "--policy") {
-      const std::string v = value();
-      try {
-        opts.detector_policy = core::treatment_policy_from_string(v);
-      } catch (const std::exception&) {
-        bad_value("--policy", v);
-      }
-    } else if (arg == "--event-queue") {
-      const std::string v = value();
-      if (v == "wheel") {
-        opts.event_queue = rt::EventQueueMode::kTimingWheel;
-      } else if (v == "heap") {
-        opts.event_queue = rt::EventQueueMode::kPooledHeap;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (sweep::cli::apply_sweep_flag(arg, value, opts)) {
+        sweep_flags = true;
+      } else if (arg == "--shard") {
+        shard_request = sweep::cli::parse_shard_request(value());
+        have_shard = true;
+        sweep_flags = true;
+      } else if (arg == "--emit-shard") {
+        emit_shard_path = value();
+        sweep_flags = true;
+      } else if (arg == "--merge") {
+        // Consumes the following path arguments, stopping at the next
+        // flag so --csv/--json/--verdicts can follow the file list
+        // ("-" reads a shard from stdin and is not a flag).
+        while (i + 1 < argc &&
+               std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+          merge_paths.emplace_back(argv[++i]);
+        }
+        if (merge_paths.empty()) usage(argv[0]);
+      } else if (arg == "--progress") {
+        progress = true;
+      } else if (arg == "--verdicts") {
+        print_verdicts = true;
+      } else if (arg == "--csv") {
+        csv_path = value();
+      } else if (arg == "--cells-csv") {
+        cells_csv_path = value();
+      } else if (arg == "--json") {
+        json_path = value();
       } else {
-        bad_value("--event-queue", v);
+        usage(argv[0]);
       }
-    } else if (arg == "--horizon-periods") {
-      opts.horizon_periods = parse_count("--horizon-periods", value());
-    } else if (arg == "--verdicts") {
-      print_verdicts = true;
-    } else if (arg == "--full-traces") {
-      opts.full_traces = true;
-    } else if (arg == "--csv") {
-      csv_path = value();
-    } else if (arg == "--cells-csv") {
-      cells_csv_path = value();
-    } else if (arg == "--json") {
-      json_path = value();
-    } else {
-      usage(argv[0]);
     }
+  } catch (const sweep::cli::ArgError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   }
   // The three modes are exclusive: a full sweep, one shard of a sweep,
   // or a merge of previously emitted shard files (which take every
   // sweep-defining option from the files themselves).
-  if (!merge_paths.empty() && (have_shard || sweep_flags)) usage(argv[0]);
+  if (!merge_paths.empty() && sweep_flags) usage(argv[0]);
   if (!emit_shard_path.empty() && !have_shard) usage(argv[0]);
   // Exports describe a full SweepReport; a shard run has only its slice.
   if (have_shard && (print_verdicts || !csv_path.empty() ||
                      !cells_csv_path.empty() || !json_path.empty())) {
     usage(argv[0]);
   }
-  if (merge_paths.empty() &&
-      (opts.scenario_count == 0 || opts.grid.task_counts.empty() ||
-       opts.grid.utilizations.empty() || opts.grid.detector_costs.empty() ||
-       opts.grid.stop_poll_latencies.empty())) {
-    usage(argv[0]);
-  }
 
   if (progress) {
-    // Throttled stderr line, ~1% steps; \r keeps it to one line on a
-    // terminal. stderr so piped/teed stdout stays machine-readable.
-    // Workers report concurrently and a straggler's lower count can
-    // arrive after the 100% call, so check-and-print runs under one
-    // lock — otherwise a stale "99%" line could land after the final
-    // one. Contention is bounded by the ~1% throttle.
-    struct ProgressState {
-      std::mutex mutex;
-      std::uint64_t printed = 0;
-    };
-    auto state = std::make_shared<ProgressState>();
-    opts.on_progress = [state](std::uint64_t done, std::uint64_t total) {
-      const std::uint64_t step = total < 100 ? 1 : total / 100;
-      if (done % step != 0 && done != total) return;
-      const std::lock_guard<std::mutex> lock(state->mutex);
-      if (done <= state->printed) return;
-      state->printed = done;
-      std::fprintf(stderr, "\r%llu/%llu scenarios (%3.0f%%)",
-                   static_cast<unsigned long long>(done),
-                   static_cast<unsigned long long>(total),
-                   100.0 * static_cast<double>(done) /
-                       static_cast<double>(total));
-      if (done == total) std::fputc('\n', stderr);
-    };
+    // Human '\r' line on a terminal, machine "progress D/T" lines on a
+    // pipe; ~1% throttle. run_shard serializes invocations and delivers
+    // a strictly increasing count, so the callback needs no lock.
+    opts.on_progress = sweep::cli::stderr_progress_printer();
   }
 
   if (have_shard) {
     sweep::ShardResult shard;
     try {
       const sweep::SweepPlan plan(opts);
-      shard = sweep::run_shard(plan.shard(shard_index, shard_count),
-                               plan.options());
+      shard = sweep::run_shard(
+          plan.shard(shard_request.index, shard_request.count),
+          plan.options());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
@@ -353,22 +260,53 @@ int main(int argc, char** argv) {
   }
 
   sweep::SweepReport report;
-  try {
-    if (!merge_paths.empty()) {
-      std::vector<sweep::ShardResult> shards;
-      shards.reserve(merge_paths.size());
-      for (const std::string& path : merge_paths) {
+  if (!merge_paths.empty()) {
+    std::vector<sweep::ShardResult> shards;
+    shards.reserve(merge_paths.size());
+    // Load each file under its own handler: a defect report that does
+    // not say *which* of a dozen files is truncated or stale is
+    // useless to whoever has to clean the output directory up.
+    for (const std::string& path : merge_paths) {
+      try {
         shards.push_back(sweep::load_shard_json(read_file(path)));
+      } catch (const sweep::ShardError& e) {
+        std::fprintf(stderr, "error: shard file '%s': %s\n", path.c_str(),
+                     e.what());
+        return 2;
       }
-      const std::size_t shard_files = shards.size();
-      report = sweep::merge(std::move(shards));
-      std::printf("merged %zu shard file(s)\n", shard_files);
-    } else {
-      report = sweep::run_sweep(opts);
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    // Cross-file defects (wrong sweep, gaps, overlaps) are reported by
+    // merge() in terms of index ranges; append the file -> range map so
+    // the message still points at files.
+    std::vector<std::pair<std::string, sweep::ShardSpec>> origins;
+    origins.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      origins.emplace_back(merge_paths[i], shards[i].shard);
+    }
+    try {
+      report = sweep::merge(std::move(shards));
+    } catch (const sweep::ShardError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      for (const auto& [path, spec] : origins) {
+        std::fprintf(stderr, "  '%s' covers [%llu, %llu)\n", path.c_str(),
+                     static_cast<unsigned long long>(spec.begin),
+                     static_cast<unsigned long long>(spec.end));
+      }
+      return 2;
+    }
+    std::printf("merged %zu shard file(s)\n", origins.size());
+  } else {
+    if (opts.grid.task_counts.empty() || opts.grid.utilizations.empty() ||
+        opts.grid.detector_costs.empty() ||
+        opts.grid.stop_poll_latencies.empty()) {
+      usage(argv[0]);
+    }
+    try {
+      report = sweep::run_sweep(opts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
   }
 
   std::printf("sweep: %llu scenarios, %zu workers, seed %llu\n\n",

@@ -1,0 +1,238 @@
+// Distributed sweep coordinator — the layer that *drives* the
+// partition/run/merge triad of sweep.hpp across worker processes, and
+// keeps driving it when workers crash, stall or corrupt their output.
+//
+//   SweepPlan -> M shard ranges -> worker processes -> shard files -> merge
+//
+// The coordinator supervises rather than computes (the
+// recovery-strategy-around-workers structure of De Florio & Deconinck's
+// REL framework): it spawns up to max_procs concurrent
+//
+//   sweep_runner --shard i/M --emit-shard <dir>/shard-i.json --progress
+//
+// workers through the ExecTransport seam, parses each worker's
+// --progress stderr stream (progress.hpp) into a live scenario
+// aggregate, and treats the shard *file* — validated by
+// load_shard_json's full re-derivation — as the only proof of
+// completion. A worker that exits without leaving a valid file, for
+// whatever reason (crash, kill -9, ENOSPC, truncated write, a stale
+// file from a different sweep), just returns its range to the pending
+// queue; the shard is re-issued up to a retry budget and the final
+// merge still reproduces the single-process fingerprint bit for bit.
+//
+// Stragglers: once enough attempts have completed to estimate a median
+// shard time, an attempt running longer than straggler_factor x that
+// median (never less than min_straggler_timeout) is killed and
+// re-issued — speculative re-execution in the MapReduce tradition,
+// sized from observed behavior rather than a wired-in timeout.
+//
+// Completed shard files double as checkpoints: run() first scans the
+// output directory, adopts every file that validates against this
+// sweep's options and partition, and schedules only the missing
+// ranges. Killing the coordinator therefore loses at most the
+// in-flight shards; a restart resumes instead of restarting.
+//
+// The transport is a seam on purpose: ProcessTransport runs workers as
+// local child processes (fork/exec, stderr piped, stdout discarded);
+// an ssh or cluster transport implements the same four calls and the
+// coordinator logic carries over unchanged, which is how the
+// million-scenario multi-host sweep the ROADMAP names slots in.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sweep/progress.hpp"
+#include "sweep/sweep.hpp"
+
+namespace rtft::sweep {
+
+/// Thrown when the coordinator cannot converge (a shard exhausted its
+/// retry budget) or a transport operation fails. Recoverable error
+/// reporting, like ShardError — not a caller bug.
+class CoordinatorError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One observation delivered by a transport: a progress update parsed
+/// from a worker's stderr, or the worker's termination.
+struct WorkerEvent {
+  enum class Kind { kProgress, kExit };
+  Kind kind = Kind::kExit;
+  std::uint64_t worker = 0;  ///< the id spawn() returned.
+  ProgressUpdate progress;   ///< kProgress only.
+  /// kExit only: 0 on success, the exit status when positive, the
+  /// negated terminating signal when negative (-9 for SIGKILL).
+  int exit_code = 0;
+};
+
+/// The exec-transport seam. Implementations launch worker commands and
+/// surface their progress streams and exits as a single event queue.
+/// Contract: every spawned worker eventually yields exactly one kExit
+/// event (also after kill_worker), with any of its kProgress events
+/// delivered before it. The coordinator is single-threaded around the
+/// transport — no call is made concurrently with another.
+class ExecTransport {
+ public:
+  virtual ~ExecTransport() = default;
+
+  /// Starts a worker running argv (argv[0] is the binary); returns a
+  /// transport-unique worker id. Throws CoordinatorError on launch
+  /// failure.
+  virtual std::uint64_t spawn(const std::vector<std::string>& argv) = 0;
+  /// Blocks up to `timeout` for the next event; nullopt on timeout or
+  /// when no worker is live.
+  virtual std::optional<WorkerEvent> poll(Duration timeout) = 0;
+  /// Forcibly terminates a worker. Idempotent; the worker's kExit event
+  /// is still delivered through poll().
+  virtual void kill_worker(std::uint64_t worker) = 0;
+  /// Monotonic clock the coordinator times attempts with. Virtual so a
+  /// fake transport controls time and straggler tests are exact.
+  virtual Duration now() = 0;
+};
+
+/// ExecTransport over local child processes: fork/exec with the
+/// worker's stderr on a pipe (parsed incrementally into kProgress
+/// events) and stdout discarded; poll(2) multiplexes the pipes, EOF
+/// triggers the waitpid that turns an exit status into kExit. The
+/// destructor SIGKILLs and reaps anything still live.
+class ProcessTransport final : public ExecTransport {
+ public:
+  ProcessTransport();
+  ~ProcessTransport() override;
+  ProcessTransport(const ProcessTransport&) = delete;
+  ProcessTransport& operator=(const ProcessTransport&) = delete;
+
+  std::uint64_t spawn(const std::vector<std::string>& argv) override;
+  std::optional<WorkerEvent> poll(Duration timeout) override;
+  void kill_worker(std::uint64_t worker) override;
+  Duration now() override;
+
+ private:
+  struct Child {
+    std::uint64_t id = 0;
+    int pid = -1;
+    int stderr_fd = -1;
+    ProgressParser parser;
+  };
+
+  /// Drains one child's readable stderr; on EOF reaps it and queues its
+  /// kExit event. Returns true when the child was reaped.
+  bool drain(Child& child);
+
+  std::vector<Child> children_;
+  std::deque<WorkerEvent> ready_;  ///< parsed but undelivered events.
+  std::uint64_t next_id_ = 1;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Coordinator policy knobs. The sweep itself (grid, seed, scenario
+/// count, per-worker threads) comes from SweepOptions; these only
+/// shape how the work is driven.
+struct CoordinatorOptions {
+  /// The sweep_runner binary workers exec.
+  std::string runner;
+  /// Directory for the shard-<i>.json files — the checkpoint state a
+  /// restarted coordinator resumes from. Created if missing.
+  std::string output_dir;
+  /// How many shards to split the sweep into; 0 means 4 x max_procs
+  /// (enough slack that one slow range cannot serialize the tail).
+  std::uint64_t shards = 0;
+  /// Concurrent worker processes.
+  std::size_t max_procs = 3;
+  /// Re-issues allowed per shard after its first attempt; a shard
+  /// failing 1 + retry_budget times aborts the run with
+  /// CoordinatorError.
+  int retry_budget = 2;
+  /// Straggler rule: with >= 3 completed attempts, kill and re-issue an
+  /// attempt older than straggler_factor x the median completed attempt
+  /// time, floored at min_straggler_timeout. <= 0 disables.
+  double straggler_factor = 4.0;
+  Duration min_straggler_timeout = Duration::s(10);
+  /// Transport poll granularity — also the straggler-check cadence.
+  Duration poll_interval = Duration::ms(100);
+  /// Lifecycle log lines (launch, completion, re-issue, resume...), one
+  /// complete line per call, no trailing newline. Empty discards them.
+  std::function<void(const std::string&)> on_log;
+  /// Live aggregate across workers: (scenarios done, scenario count).
+  /// May regress when a worker dies — its in-flight scenarios are lost
+  /// and re-run. Empty costs nothing.
+  std::function<void(std::uint64_t done, std::uint64_t total)> on_progress;
+};
+
+/// What the run did, beyond the report itself.
+struct CoordinatorStats {
+  std::uint64_t shards = 0;           ///< partition size.
+  std::uint64_t resumed = 0;          ///< adopted from checkpoint files.
+  std::uint64_t launched = 0;         ///< worker processes spawned.
+  std::uint64_t reissued = 0;         ///< failed/stale attempts re-queued.
+  std::uint64_t straggler_kills = 0;  ///< attempts killed for slowness.
+  std::uint64_t invalid_files = 0;    ///< shard files that failed to load.
+};
+
+struct CoordinatorResult {
+  SweepReport report;  ///< == the single-process run, bit for bit.
+  CoordinatorStats stats;
+};
+
+/// Drives one sweep to completion through a transport. Construction
+/// validates everything (including that the sweep options are
+/// expressible as runner flags — cli.hpp); run() blocks until the
+/// merged report is ready or a shard exhausts its retry budget.
+class Coordinator {
+ public:
+  Coordinator(const SweepOptions& sweep, CoordinatorOptions options,
+              ExecTransport& transport);
+
+  /// Resumes from the output directory, schedules what is missing,
+  /// supervises until every shard has a valid file, merges. Throws
+  /// CoordinatorError (budget exhausted, transport failure) or
+  /// ShardError (the final merge — unreachable when every adopted file
+  /// validated, kept as a backstop).
+  [[nodiscard]] CoordinatorResult run();
+
+ private:
+  enum class State { kPending, kRunning, kDone };
+
+  struct ShardTask {
+    ShardSpec spec;
+    std::string path;  ///< <output_dir>/shard-<index>.json
+    State state = State::kPending;
+    int attempts = 0;           ///< launches so far.
+    std::uint64_t worker = 0;   ///< valid while kRunning.
+    Duration started;           ///< transport time of the live attempt.
+    std::uint64_t live_done = 0;  ///< progress of the live attempt.
+    bool kill_sent = false;     ///< straggler kill already requested.
+    ShardResult result;         ///< valid when kDone.
+  };
+
+  void log(const std::string& line);
+  void emit_progress();
+  /// Loads + validates the task's shard file against this sweep and
+  /// partition; adopts it (-> kDone) on success, removes it and counts
+  /// it invalid on failure.
+  bool adopt_shard_file(ShardTask& task, bool resumed);
+  void launch(ShardTask& task);
+  void handle_exit(ShardTask& task, int exit_code);
+  void check_stragglers();
+  [[nodiscard]] std::optional<Duration> straggler_timeout() const;
+  [[nodiscard]] ShardTask* task_of_worker(std::uint64_t worker);
+
+  SweepPlan plan_;
+  CoordinatorOptions opts_;
+  ExecTransport& transport_;
+  std::vector<ShardTask> tasks_;
+  std::vector<Duration> completed_elapsed_;  ///< straggler median input.
+  CoordinatorStats stats_;
+  std::uint64_t done_scenarios_ = 0;  ///< over kDone shards only.
+};
+
+}  // namespace rtft::sweep

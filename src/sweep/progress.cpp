@@ -1,0 +1,84 @@
+#include "sweep/progress.hpp"
+
+#include "common/strings.hpp"
+
+namespace rtft::sweep {
+
+namespace {
+
+constexpr std::string_view kMachinePrefix = "progress";
+constexpr std::string_view kHumanSuffix = "scenarios";
+
+/// Parses the bare "<done>/<total>" fraction.
+bool parse_fraction(std::string_view text, ProgressUpdate& out) {
+  const auto parts = split(text, '/');
+  if (parts.size() != 2) return false;
+  std::int64_t done = 0;
+  std::int64_t total = 0;
+  if (!parse_int64(parts[0], done) || !parse_int64(parts[1], total)) {
+    return false;
+  }
+  if (done < 0 || total < 0 || done > total) return false;
+  out.done = static_cast<std::uint64_t>(done);
+  out.total = static_cast<std::uint64_t>(total);
+  return true;
+}
+
+}  // namespace
+
+std::string progress_line(const ProgressUpdate& update) {
+  std::string line(kMachinePrefix);
+  line += ' ';
+  line += std::to_string(update.done);
+  line += '/';
+  line += std::to_string(update.total);
+  line += '\n';
+  return line;
+}
+
+bool parse_progress_token(std::string_view token, ProgressUpdate& out) {
+  token = trim(token);
+  if (token.empty()) return false;
+  ProgressUpdate parsed;
+  if (token.substr(0, kMachinePrefix.size()) == kMachinePrefix) {
+    // Machine form: "progress D/T".
+    if (!parse_fraction(trim(token.substr(kMachinePrefix.size())), parsed)) {
+      return false;
+    }
+  } else {
+    // Human form: "D/T scenarios (NN%)" — the fraction is the first
+    // space-separated field, the "scenarios" keyword disambiguates it
+    // from arbitrary stderr noise that happens to contain a slash.
+    const std::size_t space = token.find(' ');
+    if (space == std::string_view::npos) return false;
+    const std::string_view rest = trim(token.substr(space + 1));
+    if (rest.substr(0, kHumanSuffix.size()) != kHumanSuffix) return false;
+    if (!parse_fraction(token.substr(0, space), parsed)) return false;
+  }
+  out = parsed;
+  return true;
+}
+
+void ProgressParser::feed(std::string_view bytes, const Callback& on_update) {
+  for (const char c : bytes) {
+    if (c != '\r' && c != '\n') {
+      buffer_.push_back(c);
+      continue;
+    }
+    ProgressUpdate update;
+    if (parse_progress_token(buffer_, update) && on_update) {
+      on_update(update);
+    }
+    buffer_.clear();
+  }
+}
+
+void ProgressParser::finish(const Callback& on_update) {
+  ProgressUpdate update;
+  if (parse_progress_token(buffer_, update) && on_update) {
+    on_update(update);
+  }
+  buffer_.clear();
+}
+
+}  // namespace rtft::sweep

@@ -401,7 +401,14 @@ ShardResult run_shard(const ShardSpec& shard, const SweepOptions& opts) {
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<ScenarioVerdict> verdicts(count);
   std::atomic<std::uint64_t> next{0};
-  std::atomic<std::uint64_t> completed{0};
+  // Progress state: a plain counter under a mutex, *not* an atomic. The
+  // lock covers the increment and the callback together, so invocations
+  // are serialized and each one observes `done` exactly one larger than
+  // the previous — the monotone stream sweep.hpp promises. (With an
+  // atomic counter two workers could increment back to back and then
+  // invoke in the opposite order, showing the callback 2 then 1.)
+  std::uint64_t completed = 0;
+  std::mutex progress_mutex;
   // A throw inside a std::thread body would call std::terminate; capture
   // the first failure instead, stop handing out work, and rethrow on the
   // calling thread after the pool has drained.
@@ -418,9 +425,8 @@ ShardResult run_shard(const ShardSpec& shard, const SweepOptions& opts) {
       try {
         verdicts[i] = runner.run(scenario_spec(resolved, shard.begin + i));
         if (resolved.on_progress) {
-          const std::uint64_t done =
-              completed.fetch_add(1, std::memory_order_relaxed) + 1;
-          resolved.on_progress(done, count);
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          resolved.on_progress(++completed, count);
         }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(failure_mutex);
@@ -470,11 +476,10 @@ namespace {
                    why);
 }
 
-/// True when two option sets define the same scenario population —
-/// every field a verdict depends on. Workers, observation mode and the
-/// event-queue implementation are excluded on purpose: they are proven
-/// not to affect verdicts, so shards run with different worker counts
-/// (or one per queue mode) merge fine.
+}  // namespace
+
+namespace detail {
+
 bool same_scenario_identity(const SweepOptions& a, const SweepOptions& b) {
   return a.scenario_count == b.scenario_count && a.base_seed == b.base_seed &&
          a.horizon_periods == b.horizon_periods &&
@@ -489,6 +494,10 @@ bool same_scenario_identity(const SweepOptions& a, const SweepOptions& b) {
          a.grid.min_period == b.grid.min_period &&
          a.grid.max_period == b.grid.max_period;
 }
+
+}  // namespace detail
+
+namespace {
 
 /// Shared merge implementation over shards in arbitrary input order.
 /// `take_verdicts` moves each shard's verdict vector into the report
@@ -516,7 +525,7 @@ SweepReport merge_shards(const std::vector<ShardResult*>& input,
   std::uint64_t expected_begin = 0;
   for (std::size_t i = 0; i < ordered.size(); ++i) {
     const ShardResult& s = *ordered[i];
-    if (!same_scenario_identity(base, s.options)) {
+    if (!detail::same_scenario_identity(base, s.options)) {
       // Name the shard by its range — positions here follow the sorted
       // order, not the caller's input order, so a bare index would not
       // identify the offending file.

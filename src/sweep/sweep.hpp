@@ -121,15 +121,17 @@ struct SweepOptions {
   rt::EventQueueMode event_queue = rt::EventQueueMode::kTimingWheel;
   /// Progress hook: invoked once per completed scenario with
   /// (scenarios completed so far, scenarios in this run) — for a shard
-  /// run, "this run" is the shard. Called concurrently from worker
-  /// threads, so the callback must be thread-safe. On a non-empty run
-  /// exactly one call reports (total, total) — an empty shard makes no
-  /// calls at all — but invocation order is nondeterministic —
-  /// a straggling worker's lower count can arrive after it, so treat
-  /// run_shard/run_sweep returning (not the counter) as the end-of-run
-  /// signal and keep displays monotone (see sweep_runner). Purely
-  /// observational: verdicts, aggregates and fingerprints are identical
-  /// with or without it. Empty (the default) costs nothing.
+  /// run, "this run" is the shard. Invocations are serialized (the
+  /// worker pool holds a lock across counter increment and call), and
+  /// `completed` is exactly sequential: 1, 2, ..., total, each call one
+  /// larger than the last. The callback itself therefore needs no
+  /// internal locking, but it runs on whichever worker thread finished
+  /// the scenario and while the progress lock is held — keep it cheap,
+  /// and never call back into the sweep from inside it. On a non-empty
+  /// run the final call reports (total, total); an empty shard makes no
+  /// calls at all. Purely observational: verdicts, aggregates and
+  /// fingerprints are identical with or without it. Empty (the default)
+  /// costs nothing.
   std::function<void(std::uint64_t completed, std::uint64_t total)>
       on_progress;
 };
@@ -223,6 +225,16 @@ namespace detail {
 /// the shard-file loader so the metadata cannot drift between them.
 void fill_cell_metadata(const SweepOptions& opts,
                         std::vector<CellSummary>& cells);
+
+/// True when two option sets define the same scenario population —
+/// every field a verdict depends on. Workers, observation mode and the
+/// event-queue implementation are excluded on purpose: they are proven
+/// not to affect verdicts, so shards run with different worker counts
+/// (or one per queue mode) merge fine. Shared by merge() and the sweep
+/// coordinator's checkpoint-resume validation, so "same sweep" cannot
+/// mean different things in the two places.
+[[nodiscard]] bool same_scenario_identity(const SweepOptions& a,
+                                          const SweepOptions& b);
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
