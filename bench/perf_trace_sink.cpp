@@ -1,6 +1,6 @@
 // Observation-cost microbenchmarks for the trace::Sink seam.
 //
-// Two families:
+// Three families:
 //
 //   BM_SinkAppend_*      — raw per-event cost of each sink.
 //   BM_DetectorRun_*     — the sweep's detector-loaded scenario run (the
@@ -12,6 +12,13 @@
 //                          recorder per run. The acceptance bar for the
 //                          refactor is ReusedCounting >= 20% faster than
 //                          the full-Recorder modes.
+//   BM_SinkDispatch_*    — static (compile-time SinkMode, zero virtual
+//                          calls per event, batched CounterBank flush)
+//                          against virtual dispatch on the same counting
+//                          workload, at n = 8 / 32 / 128 tasks. The
+//                          per-event denominator is jobs released +
+//                          completed, identical across modes, so
+//                          ns/event isolates pure dispatch cost.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -21,6 +28,7 @@
 #include "core/treatment.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/quantize.hpp"
+#include "support_bench.hpp"
 #include "sweep/generators.hpp"
 #include "trace/recorder.hpp"
 #include "trace/sink.hpp"
@@ -218,5 +226,76 @@ void BM_DetectorRun_ReusedNull(benchmark::State& state) {
   report_rate(state, jobs);
 }
 BENCHMARK(BM_DetectorRun_ReusedNull);
+
+// ---------------------------------------------------------------------------
+// Static vs virtual dispatch in the engine inner loop.
+// ---------------------------------------------------------------------------
+
+enum class Dispatch { kVirtualNull, kVirtualCounting, kStaticNull,
+                      kStaticCounting };
+
+void run_dispatch_bench(benchmark::State& state, Dispatch dispatch) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sched::TaskSet ts = rtft::bench::random_set(2031, n, 0.85);
+
+  trace::CountingSink counting;
+  rt::EngineOptions opts;
+  opts.horizon = Instant::epoch() + Duration::s(2);
+  switch (dispatch) {
+    case Dispatch::kVirtualNull:
+      break;  // sink == nullptr routes to NullSink through the vtable
+    case Dispatch::kVirtualCounting:
+      opts.sink = &counting;
+      break;
+    case Dispatch::kStaticNull:
+      opts.sink_mode = trace::SinkMode::kStaticNull;
+      break;
+    case Dispatch::kStaticCounting:
+      opts.sink_mode = trace::SinkMode::kStaticCounting;
+      opts.counting_sink = &counting;
+      break;
+  }
+  rt::Engine engine(opts);
+  engine.reserve(n, 4 * n);
+
+  std::int64_t events = 0;  // jobs released + completed, all modes alike
+  for (auto _ : state) {
+    counting.reset();
+    engine.reset(opts);
+    std::vector<rt::TaskHandle> handles;
+    handles.reserve(ts.size());
+    for (const auto& t : ts) handles.push_back(engine.add_task(t));
+    engine.run();
+    for (const rt::TaskHandle h : handles) {
+      events += engine.stats(h).released + engine.stats(h).completed;
+    }
+    benchmark::DoNotOptimize(counting.task_count());
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["sec/event"] = benchmark::Counter(
+      static_cast<double>(events),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["events/iter"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kAvgIterations);
+}
+
+void BM_SinkDispatch_VirtualNull(benchmark::State& state) {
+  run_dispatch_bench(state, Dispatch::kVirtualNull);
+}
+void BM_SinkDispatch_VirtualCounting(benchmark::State& state) {
+  run_dispatch_bench(state, Dispatch::kVirtualCounting);
+}
+void BM_SinkDispatch_StaticNull(benchmark::State& state) {
+  run_dispatch_bench(state, Dispatch::kStaticNull);
+}
+void BM_SinkDispatch_StaticCounting(benchmark::State& state) {
+  run_dispatch_bench(state, Dispatch::kStaticCounting);
+}
+
+BENCHMARK(BM_SinkDispatch_VirtualNull)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_SinkDispatch_VirtualCounting)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_SinkDispatch_StaticNull)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_SinkDispatch_StaticCounting)->Arg(8)->Arg(32)->Arg(128);
 
 }  // namespace

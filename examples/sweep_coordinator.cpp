@@ -8,6 +8,8 @@
 //                     [--tasks ...] [--util ...] [--detector-cost-us ...]
 //                     [--stop-latency-us ...] [--policy NAME]
 //                     [--horizon-periods K] [--event-queue wheel|heap]
+//                     [--sink-mode static|virtual]
+//                     [--cost-spec flat|function]
 //                     [--shards M] [--max-procs P] [--retry-budget R]
 //                     [--straggler-factor F]
 //                     [--min-straggler-timeout-ms MS]
@@ -51,6 +53,7 @@ using namespace rtft;
       "          [--detector-cost-us c1,c2,...]\n"
       "          [--stop-latency-us l1,l2,...] [--policy NAME]\n"
       "          [--horizon-periods K] [--event-queue wheel|heap]\n"
+      "          [--sink-mode static|virtual] [--cost-spec flat|function]\n"
       "          [--shards M] [--max-procs P] [--retry-budget R]\n"
       "          [--straggler-factor F] [--min-straggler-timeout-ms MS]\n"
       "          [--poll-interval-ms MS] [--progress] [--quiet]\n",

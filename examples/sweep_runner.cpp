@@ -6,6 +6,7 @@
 //                [--detector-cost-us c1,c2,...]
 //                [--stop-latency-us l1,l2,...] [--policy NAME]
 //                [--horizon-periods K] [--event-queue wheel|heap]
+//                [--sink-mode static|virtual] [--cost-spec flat|function]
 //                [--verdicts] [--full-traces] [--progress]
 //                [--csv FILE] [--cells-csv FILE] [--json FILE]
 //                [--shard I/N [--emit-shard FILE]]
@@ -26,7 +27,12 @@
 // it with a stopping --policy (e.g. instant-stop) so detected faults
 // actually request stops. --event-queue selects the engine's queue
 // implementation — wheel (default) and heap are trace-equivalent, so
-// the fingerprint must not depend on it.
+// the fingerprint must not depend on it. --sink-mode and --cost-spec
+// select the observation dispatch (engine-local batched counting vs the
+// per-event virtual seam) and the fault-injection representation (flat
+// CostSpec vs std::function closure); all four combinations are
+// verdict- and fingerprint-equivalent — 'virtual' and 'function' are
+// the retained oracles.
 //
 // --shard I/N runs only shard I (0-based) of an N-way contiguous
 // partition of the scenario index space and, with --emit-shard, writes
@@ -71,6 +77,7 @@ using namespace rtft;
       "          [--detector-cost-us c1,c2,...]\n"
       "          [--stop-latency-us l1,l2,...] [--policy NAME]\n"
       "          [--horizon-periods K] [--event-queue wheel|heap]\n"
+      "          [--sink-mode static|virtual] [--cost-spec flat|function]\n"
       "          [--verdicts] [--full-traces] [--progress]\n"
       "          [--csv FILE] [--cells-csv FILE] [--json FILE]\n"
       "          [--shard I/N [--emit-shard FILE]]\n"

@@ -24,6 +24,30 @@ void FaultPlan::validate_against(const sched::TaskSet& ts) const {
   }
 }
 
+rt::CostSpec FaultPlan::cost_spec_for(const sched::TaskSet& ts,
+                                      sched::TaskId id) const {
+  const sched::TaskParams& params = ts[id];
+  // Coalesce deltas by job: multiple faults on one (task, job) add up.
+  std::vector<std::pair<std::int64_t, Duration>> deltas;
+  for (const FaultSpec& f : faults_) {
+    if (f.task != params.name) continue;
+    bool merged = false;
+    for (auto& [index, delta] : deltas) {
+      if (index == f.job_index) {
+        delta += f.extra_cost;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) deltas.emplace_back(f.job_index, f.extra_cost);
+  }
+  if (deltas.empty()) return rt::CostSpec::nominal();
+  if (deltas.size() == 1) {
+    return rt::CostSpec::fixed_overrun(deltas[0].first, deltas[0].second);
+  }
+  return rt::CostSpec(cost_model_for(ts, id));  // multi-job: general path.
+}
+
 rt::CostModel FaultPlan::cost_model_for(const sched::TaskSet& ts,
                                         sched::TaskId id) const {
   const sched::TaskParams& params = ts[id];

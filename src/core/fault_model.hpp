@@ -44,9 +44,18 @@ class FaultPlan {
   /// Validates that every referenced task exists in `ts`.
   void validate_against(const sched::TaskSet& ts) const;
 
+  /// Flat CostSpec for task `id`: kNominal when no fault touches the
+  /// task, kFixedOverrunAtJob when all matching deltas hit one job (the
+  /// paper's single-injection case — and everything the sweep emits),
+  /// kCustom wrapping cost_model_for otherwise. Resolves to the same
+  /// per-job costs as cost_model_for in every case.
+  [[nodiscard]] rt::CostSpec cost_spec_for(const sched::TaskSet& ts,
+                                           sched::TaskId id) const;
+
   /// CostModel for task `id`: nominal cost plus any matching deltas,
   /// floored at 1 ns (a job always does some work). Returns an empty
-  /// model when no fault touches the task.
+  /// model when no fault touches the task. Retained as the
+  /// randomized-equivalence oracle for cost_spec_for.
   [[nodiscard]] rt::CostModel cost_model_for(const sched::TaskSet& ts,
                                              sched::TaskId id) const;
 

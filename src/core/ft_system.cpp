@@ -51,7 +51,7 @@ RunReport FaultTolerantSystem::run() {
   handles.reserve(config_.tasks.size());
   for (sched::TaskId i = 0; i < config_.tasks.size(); ++i) {
     handles.push_back(engine_->add_task(
-        config_.tasks[i], faults_.cost_model_for(config_.tasks, i)));
+        config_.tasks[i], faults_.cost_spec_for(config_.tasks, i)));
   }
 
   if (report.plan.detects) {

@@ -82,7 +82,7 @@ enum class CpuState : std::uint8_t { kIdle, kOverhead, kTask };
 
 struct TaskRec {
   sched::TaskParams params;
-  CostModel cost_model;
+  CostSpec cost;
   TaskCallbacks callbacks;
   Instant start;  ///< base instant; releases at start + offset + k*T.
 
@@ -116,9 +116,27 @@ struct TimerRec {
 
 }  // namespace
 
+/// Exposes an engine-local CounterBank through the virtual seam, so
+/// detectors and treatments recording via Engine::sink() in static
+/// counting mode land in the same batched flush as the engine's own
+/// events.
+class BankSink final : public trace::Sink {
+ public:
+  explicit BankSink(trace::CounterBank& bank) : bank_(&bank) {}
+  using trace::Sink::record;
+  void record(const trace::TraceEvent& event) override { bank_->add(event); }
+
+ private:
+  trace::CounterBank* bank_;
+};
+
 struct Engine::Impl {
   EngineOptions options;
   trace::Sink* sink = &trace::NullSink::instance();
+  trace::SinkMode sink_mode = trace::SinkMode::kVirtual;
+  trace::CounterBank local_counters;   ///< kStaticCounting accumulator.
+  trace::CountingSink* flush_target = nullptr;  ///< kStaticCounting only.
+  BankSink bank_sink{local_counters};  ///< Engine::sink() in kStaticCounting.
   PooledEventHeap<Ev, EvEarlier> heap_queue;  ///< kPooledHeap events.
   TimingWheel<Ev, EvEarlier, EvTimeNs> wheel; ///< kTimingWheel events.
   bool wheel_mode = true;  ///< cached options.event_queue comparison.
@@ -150,7 +168,22 @@ struct Engine::Impl {
   /// Restores pristine pre-run state; keeps slot and pool capacity.
   void rearm(EngineOptions opts) {
     options = opts;
-    sink = opts.sink != nullptr ? opts.sink : &trace::NullSink::instance();
+    sink_mode = opts.sink_mode;
+    flush_target = opts.counting_sink;
+    // Counters never leak across pooled scenario runs: the local bank
+    // restarts empty on every reset().
+    local_counters.clear();
+    switch (sink_mode) {
+      case trace::SinkMode::kVirtual:
+        sink = opts.sink != nullptr ? opts.sink : &trace::NullSink::instance();
+        break;
+      case trace::SinkMode::kStaticNull:
+        sink = &trace::NullSink::instance();
+        break;
+      case trace::SinkMode::kStaticCounting:
+        sink = &bank_sink;
+        break;
+    }
     wheel_mode = opts.event_queue == EventQueueMode::kTimingWheel;
     heap_queue.clear();
     wheel.clear();
@@ -159,7 +192,7 @@ struct Engine::Impl {
     // Drop the closures of the previous run now: a shrinking follow-up
     // run would otherwise pin their captured state in unused slots.
     for (std::size_t i = 0; i < n_tasks; ++i) {
-      tasks[i].cost_model = nullptr;
+      tasks[i].cost = {};
       tasks[i].callbacks = {};
       tasks[i].dl_pending.clear();
       tasks[i].dl_head = 0;
@@ -186,6 +219,35 @@ struct Engine::Impl {
 
   std::uint32_t trace_id(std::size_t task) const {
     return static_cast<std::uint32_t>(task);
+  }
+
+  /// The engine's own event write: dispatches on the plain sink-mode
+  /// enum, so the static modes cost a predicted branch (kStaticNull) or
+  /// an inline counter fold (kStaticCounting) per event — no virtual
+  /// call. Only kVirtual goes through the Sink* seam.
+  void record(Instant time, trace::EventKind kind,
+              std::uint32_t task = trace::kNoTask,
+              std::int64_t job = trace::kNoJob, std::int64_t detail = 0) {
+    switch (sink_mode) {
+      case trace::SinkMode::kStaticNull:
+        break;
+      case trace::SinkMode::kStaticCounting:
+        local_counters.add(trace::TraceEvent{time, job, detail, task, kind});
+        break;
+      case trace::SinkMode::kVirtual:
+        sink->record(time, kind, task, job, detail);
+        break;
+    }
+  }
+
+  /// Batched-counting flush at a run boundary: publishes the local bank
+  /// into the configured CountingSink and restarts it, so each
+  /// run()/run_until() absorbs its delta exactly once.
+  void flush_counters() {
+    if (sink_mode == trace::SinkMode::kStaticCounting) {
+      flush_target->absorb(local_counters);
+      local_counters.clear();
+    }
   }
 
   void push(Ev ev) {
@@ -274,7 +336,7 @@ struct Engine::Impl {
       RTFT_ASSERT(idx < t.outcomes.size(), "deadline check for unreleased job");
       if (t.outcomes[idx] != JobOutcome::kCompleted) {
         t.stats.missed++;
-        sink->record(head.due, trace::EventKind::kDeadlineMiss,
+        record(head.due, trace::EventKind::kDeadlineMiss,
                      trace_id(task), head.job, 0);
       }
       dl_advance(task);
@@ -286,11 +348,7 @@ struct Engine::Impl {
   }
 
   Duration actual_cost(TaskRec& t, std::int64_t index) {
-    const Duration nominal = t.params.cost;
-    if (!t.cost_model) return nominal;
-    const Duration c = t.cost_model(index);
-    RTFT_EXPECTS(c.is_positive(), "cost model must return positive costs");
-    return c;
+    return t.cost.resolve(t.params.cost, index);
   }
 
   /// Accounts CPU execution between the previous event and `to`.
@@ -324,7 +382,7 @@ struct Engine::Impl {
     t.cur_release = release_date(t, index);
     t.remaining = actual_cost(t, index);
     if (t.remaining != t.params.cost) {
-      sink->record(now, trace::EventKind::kOverrunInjected,
+      record(now, trace::EventKind::kOverrunInjected,
                    trace_id(task_idx), index,
                    (t.remaining - t.params.cost).count());
     }
@@ -343,7 +401,7 @@ struct Engine::Impl {
     RTFT_ASSERT(t.has_current, "no current job to retire");
     const std::int64_t index = t.cur_index;
     t.outcomes[static_cast<std::size_t>(index)] = outcome;
-    sink->record(now, record_kind, trace_id(task_idx), index,
+    record(now, record_kind, trace_id(task_idx), index,
                  outcome == JobOutcome::kCompleted
                      ? (now - t.cur_release).count()
                      : 0);
@@ -451,7 +509,7 @@ struct Engine::Impl {
     cpu = CpuState::kTask;
     running_task = top;
     TaskRec& t = tasks[top];
-    sink->record(now,
+    record(now,
                  t.cur_started ? trace::EventKind::kJobResumed
                                : trace::EventKind::kJobStart,
                  trace_id(top), t.cur_index, 0);
@@ -474,7 +532,7 @@ struct Engine::Impl {
   void preempt_running_job() {
     if (cpu == CpuState::kTask) {
       TaskRec& t = tasks[running_task];
-      sink->record(now, trace::EventKind::kJobPreempted,
+      record(now, trace::EventKind::kJobPreempted,
                    trace_id(running_task), t.cur_index, 0);
       t.gen++;  // invalidate its scheduled completion
       cpu = CpuState::kIdle;
@@ -505,7 +563,7 @@ struct Engine::Impl {
     t.next_release_index++;
     t.outcomes.push_back(JobOutcome::kPending);
     t.stats.released++;
-    sink->record(now, trace::EventKind::kJobRelease, trace_id(ev.index),
+    record(now, trace::EventKind::kJobRelease, trace_id(ev.index),
                  index, 0);
     if (wheel_mode) {
       dl_push(ev.index, index, now + t.params.deadline);
@@ -553,7 +611,7 @@ struct Engine::Impl {
   void on_timer(const Ev& ev) {
     TimerRec& timer = timers[ev.index];
     if (timer.cancelled) return;
-    sink->record(now, trace::EventKind::kTimerFire, trace::kNoTask,
+    record(now, trace::EventKind::kTimerFire, trace::kNoTask,
                  trace::kNoJob, static_cast<std::int64_t>(ev.index));
     if (timer.periodic) {
       push(Ev{now + timer.period, EvKind::kTimer, 0, ev.index, -1, 0,
@@ -569,7 +627,7 @@ struct Engine::Impl {
     if (ev.stop_mode == StopMode::kTask) {
       t.stopped = true;
       t.stats.stopped = true;
-      sink->record(now, trace::EventKind::kTaskStopped, trace_id(ev.index),
+      record(now, trace::EventKind::kTaskStopped, trace_id(ev.index),
                    t.has_current ? t.cur_index : trace::kNoJob, 0);
       if (t.has_current) {
         t.stats.aborted++;
@@ -600,7 +658,7 @@ struct Engine::Impl {
     RTFT_ASSERT(idx < t.outcomes.size(), "deadline check for unreleased job");
     if (t.outcomes[idx] != JobOutcome::kCompleted) {
       t.stats.missed++;
-      sink->record(now, trace::EventKind::kDeadlineMiss, trace_id(ev.index),
+      record(now, trace::EventKind::kDeadlineMiss, trace_id(ev.index),
                    ev.job, 0);
     }
   }
@@ -634,6 +692,7 @@ struct Engine::Impl {
     }
     if (wheel_mode) flush_deadlines(stop_at, /*inclusive=*/true);
     advance_to(stop_at);
+    flush_counters();
   }
 
   Engine* owner = nullptr;  ///< back-pointer for handler invocation.
@@ -648,6 +707,22 @@ void validate_options(const EngineOptions& options) {
                "stop poll latency must be non-negative");
   RTFT_EXPECTS(!options.context_switch_cost.is_negative(),
                "context switch cost must be non-negative");
+  switch (options.sink_mode) {
+    case trace::SinkMode::kVirtual:
+      RTFT_EXPECTS(options.counting_sink == nullptr,
+                   "counting_sink requires SinkMode::kStaticCounting");
+      break;
+    case trace::SinkMode::kStaticNull:
+      RTFT_EXPECTS(options.sink == nullptr && options.counting_sink == nullptr,
+                   "SinkMode::kStaticNull takes no sink");
+      break;
+    case trace::SinkMode::kStaticCounting:
+      RTFT_EXPECTS(options.sink == nullptr,
+                   "SinkMode::kStaticCounting replaces the Sink* seam");
+      RTFT_EXPECTS(options.counting_sink != nullptr,
+                   "SinkMode::kStaticCounting needs a counting_sink");
+      break;
+  }
 }
 
 }  // namespace
@@ -670,12 +745,13 @@ void Engine::reserve(std::size_t tasks, std::size_t events) {
   im.tasks.reserve(tasks);
   im.timers.reserve(tasks);
   im.ready.reserve(tasks);
+  im.local_counters.reserve(tasks);
   im.deadlines.reserve(tasks);
   im.heap_queue.reserve(events);
   im.wheel.reserve(events);
 }
 
-TaskHandle Engine::add_task(const sched::TaskParams& params, CostModel cost,
+TaskHandle Engine::add_task(const sched::TaskParams& params, CostSpec cost,
                             TaskCallbacks callbacks, Instant start) {
   sched::validate_params(params);
   const Instant first_release = start + params.offset;
@@ -694,7 +770,7 @@ TaskHandle Engine::add_task(const sched::TaskParams& params, CostModel cost,
   rec.outcomes = std::move(outcomes);
   rec.dl_pending = std::move(dl_pending);
   rec.params = params;
-  rec.cost_model = std::move(cost);
+  rec.cost = std::move(cost);
   rec.callbacks = std::move(callbacks);
   rec.start = start;
   // Pre-size the outcome log to the number of jobs the window can
@@ -747,7 +823,7 @@ void Engine::request_stop(TaskHandle task, StopMode mode,
   RTFT_EXPECTS(!extra_latency.is_negative(), "latency must be non-negative");
   TaskRec& t = impl_->tasks[task];
   if (t.stopped) return;
-  impl_->sink->record(impl_->now, trace::EventKind::kStopRequested,
+  impl_->record(impl_->now, trace::EventKind::kStopRequested,
                       impl_->trace_id(task),
                       t.has_current ? t.cur_index : trace::kNoJob, 0);
   t.stop_in_flight = true;

@@ -11,7 +11,8 @@
 //     that overruns delays its successors (releases are never lost, they
 //     backlog), mirroring waitForNextPeriod() returning immediately for a
 //     period that already elapsed,
-//   * per-job actual costs supplied by a CostModel (fault injection),
+//   * per-job actual costs supplied by a flat CostSpec (fault
+//     injection; arbitrary callables still convert, see cost_model.hpp),
 //   * cooperative stop: a stop request takes effect after a configurable
 //     poll latency (Java cannot kill threads, §4.1),
 //   * timers whose handlers run at their fire date in zero virtual time,
@@ -21,6 +22,9 @@
 // the engine writes events through a borrowed trace::Sink and never owns
 // a trace buffer. Pass a trace::Recorder for full-fidelity traces, a
 // trace::CountingSink for counters only, or nothing to discard events.
+// Sweep-scale runs select a static SinkMode instead (EngineOptions):
+// the inner loop then makes zero virtual calls per event and counting
+// is batched — accumulated locally and flushed at run boundaries.
 //
 // Determinism: simultaneous events are ordered Completion < OverheadDone <
 // StopEffect < Timer < Release < DeadlineCheck, then by creation sequence.
@@ -36,6 +40,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "runtime/cost_model.hpp"
 #include "sched/task.hpp"
 #include "trace/sink.hpp"
 
@@ -53,11 +58,6 @@ enum class StopMode {
   kTask,  ///< the paper's behaviour: the thread ends; no future releases.
   kJob,   ///< only the current job is abandoned; the task keeps running.
 };
-
-/// Actual execution cost of each job. The default (unset) model returns
-/// the task's nominal cost; fault injection wraps it (§6: "a cost overrun
-/// was voluntarily added").
-using CostModel = std::function<Duration(std::int64_t job_index)>;
 
 /// Hooks around each job, mirroring the paper's computeBeforePeriodic()/
 /// computeAfterPeriodic() inserted around waitForNextPeriod().
@@ -128,9 +128,21 @@ struct EngineOptions {
   /// CPU cost charged when the processor switches to a different job
   /// (ablation knob for the §6.2 overhead discussion; default free).
   Duration context_switch_cost = Duration::zero();
-  /// Where trace events go. Borrowed: must outlive the engine (or its
-  /// next reset()). Null discards every event.
+  /// Where trace events go in SinkMode::kVirtual. Borrowed: must
+  /// outlive the engine (or its next reset()). Null discards every
+  /// event. Must be null in the static sink modes.
   trace::Sink* sink = nullptr;
+  /// How the engine observes its own events. The static modes make the
+  /// inner loop free of virtual calls: kStaticNull discards on a branch;
+  /// kStaticCounting accumulates in an engine-local trace::CounterBank
+  /// and flushes into `counting_sink` when run()/run_until() returns
+  /// (batched counting). Detector/treatment code recording through
+  /// Engine::sink() still lands in the right place in every mode.
+  trace::SinkMode sink_mode = trace::SinkMode::kVirtual;
+  /// Flush target for SinkMode::kStaticCounting (required there,
+  /// forbidden elsewhere). Borrowed: must outlive the engine (or its
+  /// next reset()).
+  trace::CountingSink* counting_sink = nullptr;
   /// Dispatcher implementation; trace-equivalent, differ only in cost.
   DispatchMode dispatch = DispatchMode::kReadyQueue;
   /// Event-queue implementation; trace-equivalent, differ only in cost.
@@ -161,7 +173,9 @@ class Engine {
   /// Registers a periodic task. First release at `start + params.offset`
   /// (which must not lie in the past). May be called while the engine is
   /// running (dynamic admission): pass `start >= now()`.
-  TaskHandle add_task(const sched::TaskParams& params, CostModel cost = {},
+  /// `cost` accepts a flat CostSpec or (implicitly) anything callable
+  /// as Duration(std::int64_t); default is the nominal cost every job.
+  TaskHandle add_task(const sched::TaskParams& params, CostSpec cost = {},
                       TaskCallbacks callbacks = {},
                       Instant start = Instant::epoch());
 
@@ -206,7 +220,10 @@ class Engine {
   [[nodiscard]] std::int64_t jobs_released(TaskHandle task) const;
 
   /// The sink this engine records through (a NullSink when none was
-  /// configured). Detectors and treatments record through this too.
+  /// configured). Detectors and treatments record through this too. In
+  /// SinkMode::kStaticCounting this is an adapter into the engine-local
+  /// counter bank, so external events join the same batched flush; in
+  /// kStaticNull it is the shared NullSink.
   [[nodiscard]] trace::Sink& sink() const;
 
  private:

@@ -62,7 +62,8 @@ struct ShardRequest {
 
 /// Applies one sweep-defining flag (--scenarios, --workers, --seed,
 /// --tasks, --util, --detector-cost-us, --stop-latency-us, --policy,
-/// --event-queue, --horizon-periods, --full-traces) to `opts`. Returns
+/// --event-queue, --sink-mode, --cost-spec, --horizon-periods,
+/// --full-traces) to `opts`. Returns
 /// false when `arg` is none of these — the caller handles its own
 /// flags; throws ArgError on a bad value. `value` supplies the flag's
 /// argument and is called at most once.

@@ -210,17 +210,29 @@ void ScenarioRunner::arm(const sched::TaskSet& ts, Duration horizon,
     eopts.sink = &full_;
   } else {
     counting_.reset();
-    eopts.sink = &counting_;
+    if (opts_.sink_dispatch == SinkDispatch::kStatic) {
+      // The zero-virtual path: events fold into an engine-local bank
+      // and flush into counting_ when each run returns — which is
+      // before total_misses() reads it, so verdicts see whole runs.
+      eopts.sink_mode = trace::SinkMode::kStaticCounting;
+      eopts.counting_sink = &counting_;
+    } else {
+      eopts.sink = &counting_;  // per-event virtual oracle.
+    }
   }
   engine_.reset(eopts);
   handles_.clear();
   for (sched::TaskId id = 0; id < ts.size(); ++id) {
-    rt::CostModel cost;  // empty = nominal
+    rt::CostSpec cost;  // nominal
     if (faulty && *faulty == id) {
-      const Duration nominal = ts[id].cost;
-      cost = [nominal, extra](std::int64_t job) {
-        return job == 0 ? nominal + extra : nominal;
-      };
+      if (opts_.cost_spec == CostSpecMode::kFlat) {
+        cost = rt::CostSpec::fixed_overrun(0, extra);
+      } else {
+        const Duration nominal = ts[id].cost;  // closure oracle.
+        cost = rt::CostModel([nominal, extra](std::int64_t job) {
+          return job == 0 ? nominal + extra : nominal;
+        });
+      }
     }
     handles_.push_back(engine_.add_task(ts[id], std::move(cost)));
   }

@@ -89,6 +89,26 @@ struct ScenarioSpec {
   Duration stop_poll_latency;
 };
 
+/// How the sweep's engines observe events (counter-only runs; a
+/// full_traces run always uses the virtual Recorder seam).
+enum class SinkDispatch : std::uint8_t {
+  /// Engine-local batched counting (trace::SinkMode::kStaticCounting):
+  /// zero virtual calls per event. The production path.
+  kStatic,
+  /// Per-event virtual CountingSink::record through the Sink* seam —
+  /// the original design, retained as the equivalence oracle.
+  kVirtual,
+};
+
+/// How scenario fault injections reach the engine.
+enum class CostSpecMode : std::uint8_t {
+  /// Flat rt::CostSpec resolved inline per job. The production path.
+  kFlat,
+  /// A std::function closure per faulty task — the original design,
+  /// retained as the equivalence oracle.
+  kFunction,
+};
+
 /// Sweep-wide options.
 struct SweepOptions {
   std::uint64_t scenario_count = 1000;
@@ -119,6 +139,14 @@ struct SweepOptions {
   /// by construction (the engine's dispatch order is total); the knob
   /// exists for the equivalence tests and for benchmarking the oracle.
   rt::EventQueueMode event_queue = rt::EventQueueMode::kTimingWheel;
+  /// Observation dispatch for counter-only runs. Verdicts and the
+  /// fingerprint are identical in both modes (pinned by tests and CI);
+  /// kVirtual exists as the oracle and benchmark baseline. Ignored when
+  /// full_traces routes events into the Recorder.
+  SinkDispatch sink_dispatch = SinkDispatch::kStatic;
+  /// Fault-injection representation. Verdict- and fingerprint-
+  /// equivalent; kFunction is the oracle.
+  CostSpecMode cost_spec = CostSpecMode::kFlat;
   /// Progress hook: invoked once per completed scenario with
   /// (scenarios completed so far, scenarios in this run) — for a shard
   /// run, "this run" is the shard. Invocations are serialized (the
@@ -227,10 +255,11 @@ void fill_cell_metadata(const SweepOptions& opts,
                         std::vector<CellSummary>& cells);
 
 /// True when two option sets define the same scenario population —
-/// every field a verdict depends on. Workers, observation mode and the
+/// every field a verdict depends on. Workers, observation mode (full
+/// traces and sink dispatch), cost-spec representation and the
 /// event-queue implementation are excluded on purpose: they are proven
 /// not to affect verdicts, so shards run with different worker counts
-/// (or one per queue mode) merge fine. Shared by merge() and the sweep
+/// (or one per queue/sink/cost mode) merge fine. Shared by merge() and the sweep
 /// coordinator's checkpoint-resume validation, so "same sweep" cannot
 /// mean different things in the two places.
 [[nodiscard]] bool same_scenario_identity(const SweepOptions& a,

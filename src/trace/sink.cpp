@@ -1,5 +1,7 @@
 #include "trace/sink.hpp"
 
+#include <algorithm>
+
 namespace rtft::trace {
 
 NullSink& NullSink::instance() {
@@ -7,38 +9,34 @@ NullSink& NullSink::instance() {
   return sink;
 }
 
-void CountingSink::record(const TraceEvent& event) {
-  kind_totals_[static_cast<std::size_t>(event.kind)]++;
-  if (event.task == kNoTask) return;
-  const auto task = static_cast<std::size_t>(event.task);
-  if (task >= tasks_.size()) tasks_.resize(task + 1);
-  TaskCounters& c = tasks_[task];
-  switch (event.kind) {
-    case EventKind::kJobRelease: c.released++; break;
-    case EventKind::kJobStart: c.started++; break;
-    case EventKind::kJobEnd: {
-      c.completed++;
-      const Duration response = Duration::ns(event.detail);
-      c.last_response = response;
-      if (response > c.max_response) c.max_response = response;
-      break;
-    }
-    case EventKind::kDeadlineMiss: c.missed++; break;
-    case EventKind::kJobAborted: c.aborted++; break;
-    case EventKind::kJobPreempted: c.preemptions++; break;
-    case EventKind::kDetectorFire: c.detector_fires++; break;
-    case EventKind::kFaultDetected: c.faults_detected++; break;
-    case EventKind::kTaskStopped: c.stopped = true; break;
-    default: break;  // resumed/timers/idle/etc. carry no counter.
+void CounterBank::merge(const CounterBank& delta) {
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    kind_totals_[k] += delta.kind_totals_[k];
+  }
+  if (delta.tasks_.size() > tasks_.size()) tasks_.resize(delta.tasks_.size());
+  for (std::size_t i = 0; i < delta.tasks_.size(); ++i) {
+    const TaskCounters& d = delta.tasks_[i];
+    TaskCounters& c = tasks_[i];
+    c.released += d.released;
+    c.started += d.started;
+    c.completed += d.completed;
+    c.missed += d.missed;
+    c.aborted += d.aborted;
+    c.preemptions += d.preemptions;
+    c.detector_fires += d.detector_fires;
+    c.faults_detected += d.faults_detected;
+    c.stopped = c.stopped || d.stopped;
+    c.max_response = std::max(c.max_response, d.max_response);
+    if (d.completed > 0) c.last_response = d.last_response;
   }
 }
 
-void CountingSink::reset() {
+void CounterBank::clear() {
   tasks_.clear();
   for (std::int64_t& n : kind_totals_) n = 0;
 }
 
-const TaskCounters& CountingSink::counters(std::size_t task) const {
+const TaskCounters& CounterBank::counters(std::size_t task) const {
   static const TaskCounters kZero{};
   return task < tasks_.size() ? tasks_[task] : kZero;
 }

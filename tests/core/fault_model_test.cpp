@@ -51,6 +51,38 @@ TEST(FaultPlan, UnderrunSupportedAndFlooredAtOneNanosecond) {
   EXPECT_EQ(model(1), 1_ns);
 }
 
+TEST(FaultPlan, CostSpecForIsNominalWithoutMatchingFaults) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.cost_spec_for(paper::table2_system(), 0).is_nominal());
+  FaultPlan other;
+  other.add_overrun("tau2", 0, 1_ms);
+  EXPECT_TRUE(other.cost_spec_for(paper::table2_system(), 0).is_nominal());
+}
+
+TEST(FaultPlan, CostSpecForMatchesTheClosureOracle) {
+  // Single-job faults flatten to kFixedOverrunAtJob; multi-job plans
+  // fall back to kCustom wrapping cost_model_for. Either way the
+  // resolved per-job costs must equal the oracle closure's.
+  const sched::TaskSet& ts = paper::table2_system();
+  const Duration nominal = ts[0].cost;
+  FaultPlan single;
+  single.add_overrun("tau1", 5, 40_ms);
+  single.add_overrun("tau1", 5, 2_ms);  // accumulates on the same job
+  FaultPlan multi;
+  multi.add_overrun("tau1", 1, 10_ms);
+  multi.add_overrun("tau1", 4, Duration::ms(-100));  // floors at 1 ns
+  for (const FaultPlan* plan : {&single, &multi}) {
+    const rt::CostSpec spec = plan->cost_spec_for(ts, 0);
+    const rt::CostModel oracle = plan->cost_model_for(ts, 0);
+    ASSERT_TRUE(oracle);
+    for (std::int64_t job = 0; job <= 8; ++job) {
+      EXPECT_EQ(spec.resolve(nominal, job), oracle(job)) << "job " << job;
+    }
+  }
+  EXPECT_EQ(single.cost_spec_for(ts, 0).kind, rt::CostKind::kFixedOverrunAtJob);
+  EXPECT_EQ(multi.cost_spec_for(ts, 0).kind, rt::CostKind::kCustom);
+}
+
 TEST(FaultPlan, ValidatesTaskNames) {
   FaultPlan plan;
   plan.add_overrun("ghost", 0, 1_ms);

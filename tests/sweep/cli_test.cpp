@@ -141,6 +141,46 @@ TEST(ApplySweepFlag, ClaimsOnlySweepFlagsAndRejectsBadValues) {
                ArgError);
 }
 
+TEST(ApplySweepFlag, ParsesSinkModeAndCostSpecStrictly) {
+  SweepOptions opts;
+  EXPECT_TRUE(apply_sweep_flag(
+      "--sink-mode", [] { return std::string("virtual"); }, opts));
+  EXPECT_EQ(opts.sink_dispatch, SinkDispatch::kVirtual);
+  EXPECT_TRUE(apply_sweep_flag(
+      "--sink-mode", [] { return std::string("static"); }, opts));
+  EXPECT_EQ(opts.sink_dispatch, SinkDispatch::kStatic);
+  EXPECT_TRUE(apply_sweep_flag(
+      "--cost-spec", [] { return std::string("function"); }, opts));
+  EXPECT_EQ(opts.cost_spec, CostSpecMode::kFunction);
+  EXPECT_TRUE(apply_sweep_flag(
+      "--cost-spec", [] { return std::string("flat"); }, opts));
+  EXPECT_EQ(opts.cost_spec, CostSpecMode::kFlat);
+
+  // Rejections name the flag, echo the value and say what is accepted.
+  for (const char* bad : {"", "Static", "null", "counting"}) {
+    const std::string msg = arg_error_of([&] {
+      apply_sweep_flag(
+          "--sink-mode", [&] { return std::string(bad); }, opts);
+    });
+    EXPECT_NE(msg.find("--sink-mode"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'static' or 'virtual'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(got '" + std::string(bad) + "')"),
+              std::string::npos)
+        << msg;
+  }
+  for (const char* bad : {"", "Flat", "closure", "nonsense"}) {
+    const std::string msg = arg_error_of([&] {
+      apply_sweep_flag(
+          "--cost-spec", [&] { return std::string(bad); }, opts);
+    });
+    EXPECT_NE(msg.find("--cost-spec"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'flat' or 'function'"), std::string::npos) << msg;
+  }
+  // Bad values must not have clobbered the last good settings.
+  EXPECT_EQ(opts.sink_dispatch, SinkDispatch::kStatic);
+  EXPECT_EQ(opts.cost_spec, CostSpecMode::kFlat);
+}
+
 TEST(WorkerArgv, RoundTripsTheScenarioIdentityBitForBit) {
   SweepOptions opts;
   opts.scenario_count = 240;
@@ -153,6 +193,9 @@ TEST(WorkerArgv, RoundTripsTheScenarioIdentityBitForBit) {
   opts.grid.stop_poll_latencies = {Duration::us(50)};
   opts.detector_policy = core::TreatmentPolicy::kInstantStop;
   opts.event_queue = rt::EventQueueMode::kPooledHeap;
+  // Non-default dispatch knobs must survive the round trip too.
+  opts.sink_dispatch = SinkDispatch::kVirtual;
+  opts.cost_spec = CostSpecMode::kFunction;
   opts.horizon_periods = 6;
   opts.full_traces = true;
 
@@ -170,6 +213,8 @@ TEST(WorkerArgv, RoundTripsTheScenarioIdentityBitForBit) {
   // ...with the same execution knobs...
   EXPECT_EQ(reparsed.workers, opts.workers);
   EXPECT_EQ(reparsed.event_queue, opts.event_queue);
+  EXPECT_EQ(reparsed.sink_dispatch, opts.sink_dispatch);
+  EXPECT_EQ(reparsed.cost_spec, opts.cost_spec);
   EXPECT_TRUE(reparsed.full_traces);
   // ...and the runner-only flags are exactly the shard/emit/progress
   // triple the coordinator relies on.
