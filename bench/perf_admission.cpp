@@ -1,0 +1,135 @@
+// Admission-service throughput under increasing offered load.
+//
+// One benchmark, three offered loads (requests per burst against the
+// same 2-worker / 32-deep service): 2x, 16x and 128x the queue capacity.
+// At 2x the service absorbs nearly everything at the exact tier; at 16x
+// the ladder starts shedding work; at 128x the backpressure dominates
+// and requests/s measures how fast the service can *refuse* without
+// stalling the answers it accepted. The counters make the degradation
+// story explicit per load (BENCH_perf_admission.json via --json):
+//
+//   requests/s        offered requests resolved per second
+//   answered/s        kAnswered responses per second
+//   shed_fraction     (rejected-full + deadline-shed) / submitted
+//   degraded_fraction answered at a tier below exact / answered
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "sweep/generators.hpp"
+
+namespace {
+
+using namespace rtft;
+
+constexpr std::size_t kQueueCapacity = 32;
+constexpr std::size_t kProducers = 2;
+constexpr std::size_t kDistinctSets = 16;
+
+/// Fixed request population, shared by every load point so the per-load
+/// numbers differ only in offered volume. Utilizations span feasible
+/// through overloaded; the population must stay constant across PRs for
+/// the JSON trajectory to be comparable.
+const std::vector<serve::AdmissionRequest>& request_pool() {
+  static const std::vector<serve::AdmissionRequest> pool = [] {
+    std::vector<serve::AdmissionRequest> reqs;
+    for (std::size_t i = 0; i < kDistinctSets; ++i) {
+      RandomTaskSetSpec spec;
+      spec.tasks = 2 + i % 4;
+      spec.total_utilization =
+          0.3 + 0.9 * static_cast<double>(i) / kDistinctSets;
+      spec.min_period = Duration::ms(10);
+      spec.max_period = Duration::ms(100);
+      serve::AdmissionRequest req;
+      req.tasks =
+          sweep::make_seeded_task_set(sweep::scenario_seed(2006, i), spec)
+              .tasks();
+      reqs.push_back(std::move(req));
+    }
+    return reqs;
+  }();
+  return pool;
+}
+
+void BM_Admission_OfferedLoad(benchmark::State& state) {
+  const std::size_t offered =
+      kQueueCapacity * static_cast<std::size_t>(state.range(0));
+  const std::vector<serve::AdmissionRequest>& pool = request_pool();
+
+  std::uint64_t submitted = 0, answered = 0, shed = 0, degraded = 0;
+  for (auto _ : state) {
+    serve::ServiceOptions opts;
+    opts.workers = 2;
+    opts.queue_capacity = kQueueCapacity;
+    serve::AdmissionService service{opts};
+
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        std::vector<std::future<serve::AdmissionResponse>> in_flight;
+        in_flight.reserve(offered / kProducers);
+        for (std::size_t i = 0; i < offered / kProducers; ++i) {
+          serve::AdmissionRequest req = pool[(p + i * kProducers) % pool.size()];
+          req.id = p * offered + i;
+          in_flight.push_back(service.submit(std::move(req)));
+        }
+        for (auto& f : in_flight) benchmark::DoNotOptimize(f.get());
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    service.stop();
+
+    const serve::ServiceMetrics m = service.metrics();
+    submitted += m.submitted;
+    answered += m.answered;
+    shed += m.rejected_full + m.shed_deadline;
+    degraded += m.answered_by_tier[1] + m.answered_by_tier[2];
+  }
+
+  state.counters["requests/s"] = benchmark::Counter(
+      static_cast<double>(submitted), benchmark::Counter::kIsRate);
+  state.counters["answered/s"] = benchmark::Counter(
+      static_cast<double>(answered), benchmark::Counter::kIsRate);
+  state.counters["shed_fraction"] = benchmark::Counter(
+      submitted == 0 ? 0.0
+                     : static_cast<double>(shed) /
+                           static_cast<double>(submitted));
+  state.counters["degraded_fraction"] = benchmark::Counter(
+      answered == 0 ? 0.0
+                    : static_cast<double>(degraded) /
+                          static_cast<double>(answered));
+}
+BENCHMARK(BM_Admission_OfferedLoad)
+    ->Arg(2)
+    ->Arg(16)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Steady-state single-request latency with a hot cache: the service's
+/// fast path (canonicalize + one LRU lookup) — what a well-behaved
+/// population pays per query once its verdict is memoized.
+void BM_Admission_CachedAdmit(benchmark::State& state) {
+  serve::ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = kQueueCapacity;
+  serve::AdmissionService service{opts};
+  const serve::AdmissionRequest& seed_req = request_pool().front();
+  benchmark::DoNotOptimize(service.admit(seed_req));  // warm the cache.
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.admit(seed_req));
+    ++n;
+  }
+  state.counters["requests/s"] =
+      benchmark::Counter(static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Admission_CachedAdmit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,45 @@
+// Canonical task-set identity — the cache key of the admission service.
+//
+// Two clients asking "can {C,T,D,P} be admitted?" must hit the same
+// cache line even when they name their tasks differently or list them in
+// a different order: scheduling analysis depends only on the multiset of
+// (priority, cost, period, deadline, offset) rows. canonicalize() sorts
+// the rows into a total order and drops the names, so equal systems
+// compare equal and hash equal; millions of repeated queries then never
+// recompute an RTA.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sched/task.hpp"
+
+namespace rtft::sched {
+
+/// One task reduced to the fields analysis depends on, in a fixed field
+/// order so rows are comparable and hashable as plain integer tuples.
+using CanonicalRow = std::array<std::int64_t, 5>;
+
+/// Name-free, order-free identity of a task set. Rows are sorted
+/// (priority descending, then cost, period, deadline, offset ascending);
+/// `hash` is an FNV-1a 64 fold over the rows in that order. Equality
+/// compares the full rows — the hash alone is only a bucket index, so
+/// colliding systems can never alias each other's verdicts.
+struct CanonicalTaskSet {
+  std::vector<CanonicalRow> rows;
+  std::uint64_t hash = 0;
+
+  friend bool operator==(const CanonicalTaskSet& a, const CanonicalTaskSet& b) {
+    return a.hash == b.hash && a.rows == b.rows;
+  }
+};
+
+/// Canonicalizes a task set. Deterministic across platforms and
+/// insertion orders; identical for sets differing only in task names.
+[[nodiscard]] CanonicalTaskSet canonicalize(const TaskSet& ts);
+
+/// The canonical hash alone (convenience for logging and sharding).
+[[nodiscard]] std::uint64_t canonical_hash(const TaskSet& ts);
+
+}  // namespace rtft::sched

@@ -45,20 +45,34 @@ struct FeasibilityReport {
 /// Incremental admission control in the RTSJ style: tasks are admitted
 /// only if the system stays feasible, and the mutation is rolled back
 /// otherwise.
+///
+/// Robustness contract (a long-lived admission object must survive bad
+/// input — the serving layer feeds it straight from clients):
+///   * Every mutation is strong-exception-safe: if add()/add_unchecked()
+///     throws (invalid parameters, duplicate name), the analysis is
+///     exactly as it was before the call — candidates are built on a
+///     copy and committed only on success.
+///   * Mutations never assert on merely-absent state: remove() of an
+///     unknown name reports false instead of throwing, so callers can
+///     treat "already gone" as success.
 class FeasibilityAnalysis {
  public:
   explicit FeasibilityAnalysis(RtaOptions opts = {}) : opts_(opts) {}
 
   /// Admits `params` iff the resulting system is feasible.
-  /// Returns false (and leaves the set unchanged) otherwise.
+  /// Returns false (and leaves the set unchanged) otherwise. Throws
+  /// ContractViolation on invalid parameters or a duplicate name,
+  /// leaving the set unchanged.
   bool add(const TaskParams& params);
 
-  /// Removes the named task. Returns false if no such task. Removal never
-  /// hurts feasibility, so it always succeeds when the task exists.
+  /// Removes the named task. Returns false (never throws) if no such
+  /// task. Removal never hurts feasibility, so it always succeeds when
+  /// the task exists.
   bool remove(std::string_view name);
 
   /// Force-adds a task without the admission check (used to model systems
-  /// that bypass admission control; analysis can then flag them).
+  /// that bypass admission control; analysis can then flag them). Same
+  /// strong guarantee as add() when validation throws.
   void add_unchecked(const TaskParams& params);
 
   [[nodiscard]] const TaskSet& task_set() const { return set_; }

@@ -1,0 +1,134 @@
+#include "serve/verdict_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace rtft::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(d));
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+}  // namespace
+
+VerdictCache::VerdictCache(std::size_t capacity) : capacity_(capacity) {
+  RTFT_EXPECTS(capacity > 0, "verdict cache needs capacity >= 1");
+}
+
+std::uint64_t VerdictCache::checksum_of(const sched::CanonicalTaskSet& key,
+                                        const CachedVerdict& value) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, key.hash);
+  fnv_mix(h, static_cast<std::uint64_t>(value.verdict));
+  fnv_mix(h, static_cast<std::uint64_t>(value.tier));
+  fnv_mix(h, bits_of(value.utilization));
+  return h;
+}
+
+VerdictCache::Lru::iterator VerdictCache::find_locked(
+    const sched::CanonicalTaskSet& key) {
+  const auto bucket = index_.find(key.hash);
+  if (bucket == index_.end()) return lru_.end();
+  for (const Lru::iterator it : bucket->second) {
+    if (it->key == key) return it;
+  }
+  return lru_.end();
+}
+
+std::optional<CachedVerdict> VerdictCache::lookup(
+    const sched::CanonicalTaskSet& key, AnalysisTier active) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Lru::iterator it = find_locked(key);
+  if (it == lru_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (checksum_of(it->key, it->value) != it->checksum) {
+    // Corrupted: drop it and recompute — never serve a damaged verdict.
+    ++stats_.corruption_detected;
+    ++stats_.misses;
+    auto& chain = index_[key.hash];
+    chain.erase(std::find(chain.begin(), chain.end(), it));
+    if (chain.empty()) index_.erase(key.hash);
+    lru_.erase(it);
+    return std::nullopt;
+  }
+  if (static_cast<std::uint8_t>(it->value.tier) >
+      static_cast<std::uint8_t>(active)) {
+    // Cached answer is weaker than what the service would compute right
+    // now; recompute (and insert() will then upgrade the entry).
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it);  // bump to most-recently-used.
+  ++stats_.hits;
+  return it->value;
+}
+
+void VerdictCache::insert(const sched::CanonicalTaskSet& key,
+                          const CachedVerdict& value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Lru::iterator it = find_locked(key);
+  if (it != lru_.end()) {
+    // Refresh, but never downgrade a stronger cached tier (corruption
+    // already got erased on lookup, so what is here verified).
+    if (static_cast<std::uint8_t>(value.tier) <=
+        static_cast<std::uint8_t>(it->value.tier)) {
+      it->value = value;
+      it->checksum = checksum_of(it->key, value);
+    }
+    lru_.splice(lru_.begin(), lru_, it);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    const Lru::iterator victim = std::prev(lru_.end());
+    auto& chain = index_[victim->key.hash];
+    chain.erase(std::find(chain.begin(), chain.end(), victim));
+    if (chain.empty()) index_.erase(victim->key.hash);
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, value, checksum_of(key, value)});
+  index_[key.hash].push_back(lru_.begin());
+}
+
+bool VerdictCache::corrupt(const sched::CanonicalTaskSet& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Lru::iterator it = find_locked(key);
+  if (it == lru_.end()) return false;
+  it->value.utilization =
+      it->value.utilization == 0.0 ? 1.0 : -it->value.utilization;
+  it->value.verdict = it->value.verdict == AdmissionVerdict::kAdmit
+                          ? AdmissionVerdict::kReject
+                          : AdmissionVerdict::kAdmit;
+  return true;
+}
+
+std::size_t VerdictCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+VerdictCacheStats VerdictCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace rtft::serve

@@ -1,0 +1,98 @@
+// Bounded LRU cache: canonical task set -> admission verdict.
+//
+// Millions of clients ask about a much smaller population of task mixes,
+// so the service memoizes verdicts keyed by the *canonical* form of the
+// task set (sched/canonical.hpp): renamed or reordered tasks hit the
+// same entry. Robustness rules:
+//
+//   * Bounded: a hard entry capacity with strict LRU eviction — the
+//     cache can never become the unbounded growth the queue forbids.
+//   * Tier-aware: an entry remembers the tier that computed it and is
+//     served only when at least as strong as the tier currently active,
+//     so degraded-mode answers never masquerade as exact ones later.
+//   * Self-validating: entries carry a checksum over their payload and
+//     key; lookup verifies it and drops (counts, recomputes) corrupted
+//     entries instead of serving them. The service's fault plan flips
+//     entry bits on purpose to prove this path works.
+//
+// Internally synchronized: every method is safe to call from any worker
+// thread concurrently.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "sched/canonical.hpp"
+#include "serve/admission.hpp"
+
+namespace rtft::serve {
+
+/// One cached answer. `utilization` rides along so cache hits fill the
+/// response without touching the task set again.
+struct CachedVerdict {
+  AdmissionVerdict verdict = AdmissionVerdict::kInconclusive;
+  AnalysisTier tier = AnalysisTier::kExact;
+  double utilization = 0.0;
+};
+
+/// Counters a snapshot of which feeds ServiceMetrics.
+struct VerdictCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t corruption_detected = 0;
+  std::uint64_t evictions = 0;
+};
+
+class VerdictCache {
+ public:
+  explicit VerdictCache(std::size_t capacity);
+
+  /// Returns the cached answer for `key` when present, uncorrupted, and
+  /// computed at a tier at least as strong as `active` (numerically <=,
+  /// kExact being strongest); bumps the entry to most-recently-used.
+  /// Counts a miss otherwise; a corrupted entry is additionally counted
+  /// and erased.
+  [[nodiscard]] std::optional<CachedVerdict> lookup(
+      const sched::CanonicalTaskSet& key, AnalysisTier active);
+
+  /// Inserts or refreshes the entry. A weaker-tier value never
+  /// overwrites a stronger cached one (a kBound answer arriving while a
+  /// kExact one is cached would *lose* information).
+  void insert(const sched::CanonicalTaskSet& key, const CachedVerdict& value);
+
+  /// Fault-injection seam: bit-flips the stored payload of `key`'s entry
+  /// (if present) without fixing the checksum, exactly what a stray
+  /// write or decayed cell would do. Returns true when an entry was
+  /// corrupted.
+  bool corrupt(const sched::CanonicalTaskSet& key);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] VerdictCacheStats stats() const;
+
+ private:
+  struct Entry {
+    sched::CanonicalTaskSet key;  ///< full key: hash collisions compare.
+    CachedVerdict value;
+    std::uint64_t checksum = 0;
+  };
+  using Lru = std::list<Entry>;
+
+  [[nodiscard]] static std::uint64_t checksum_of(
+      const sched::CanonicalTaskSet& key, const CachedVerdict& value);
+  /// Finds the live iterator for `key`, comparing full keys within the
+  /// hash bucket. Caller holds mu_.
+  [[nodiscard]] Lru::iterator find_locked(const sched::CanonicalTaskSet& key);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  Lru lru_;  ///< front = most recently used.
+  /// hash -> entries with that hash (usually one; collisions chain).
+  std::unordered_map<std::uint64_t, std::vector<Lru::iterator>> index_;
+  VerdictCacheStats stats_;
+};
+
+}  // namespace rtft::serve

@@ -40,6 +40,18 @@ bool read_whole_file(const std::string& path, std::string& out) {
   return !failed;
 }
 
+/// waitpid(2) restarted across EINTR. A benign signal (SIGCHLD from a
+/// sibling, a profiler's SIGPROF, a debugger detach) delivered while the
+/// coordinator blocks in waitpid must not abandon the reap: the child
+/// would linger as a zombie and its exit status would be lost, turning
+/// an innocuous interruption into a phantom worker failure.
+int reap(int pid, int* status) {
+  for (;;) {
+    const int rc = ::waitpid(pid, status, 0);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
 std::string describe_exit(int exit_code) {
   if (exit_code == 0) return "exit 0";
   if (exit_code < 0) return "signal " + std::to_string(-exit_code);
@@ -59,7 +71,7 @@ ProcessTransport::~ProcessTransport() {
   for (Child& child : children_) {
     ::kill(child.pid, SIGKILL);
     int status = 0;
-    ::waitpid(child.pid, &status, 0);
+    reap(child.pid, &status);
     ::close(child.stderr_fd);
   }
 }
@@ -133,7 +145,7 @@ bool ProcessTransport::drain(Child& child) {
       ready_.push_back(ev);
     });
     int status = 0;
-    ::waitpid(child.pid, &status, 0);
+    reap(child.pid, &status);
     WorkerEvent ev;
     ev.kind = WorkerEvent::Kind::kExit;
     ev.worker = child.id;

@@ -1,0 +1,76 @@
+#include "sched/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/task.hpp"
+
+namespace rtft::sched {
+namespace {
+
+using namespace rtft::literals;
+
+TaskSet base_set() {
+  TaskSet ts;
+  ts.add(TaskParams{"tau1", 20, 29_ms, 200_ms, 70_ms, Duration::zero()});
+  ts.add(TaskParams{"tau2", 19, 29_ms, 200_ms, 150_ms, Duration::zero()});
+  ts.add(TaskParams{"tau3", 18, 29_ms, 200_ms, 220_ms, Duration::zero()});
+  return ts;
+}
+
+TEST(Canonical, RenamingTasksDoesNotChangeIdentity) {
+  TaskSet renamed;
+  renamed.add(TaskParams{"alpha", 20, 29_ms, 200_ms, 70_ms, Duration::zero()});
+  renamed.add(TaskParams{"beta", 19, 29_ms, 200_ms, 150_ms, Duration::zero()});
+  renamed.add(TaskParams{"gamma", 18, 29_ms, 200_ms, 220_ms, Duration::zero()});
+  EXPECT_EQ(canonicalize(base_set()), canonicalize(renamed));
+  EXPECT_EQ(canonical_hash(base_set()), canonical_hash(renamed));
+}
+
+TEST(Canonical, InsertionOrderDoesNotChangeIdentity) {
+  TaskSet reordered;
+  reordered.add(TaskParams{"tau3", 18, 29_ms, 200_ms, 220_ms, Duration::zero()});
+  reordered.add(TaskParams{"tau1", 20, 29_ms, 200_ms, 70_ms, Duration::zero()});
+  reordered.add(TaskParams{"tau2", 19, 29_ms, 200_ms, 150_ms, Duration::zero()});
+  EXPECT_EQ(canonicalize(base_set()), canonicalize(reordered));
+}
+
+TEST(Canonical, EveryParameterFeedsTheIdentity) {
+  const CanonicalTaskSet original = canonicalize(base_set());
+  // Perturb each scheduling-relevant field of one task in turn.
+  const TaskParams variants[] = {
+      {"tau2", 7, 29_ms, 200_ms, 150_ms, Duration::zero()},    // priority
+      {"tau2", 19, 30_ms, 200_ms, 150_ms, Duration::zero()},   // cost
+      {"tau2", 19, 29_ms, 201_ms, 150_ms, Duration::zero()},   // period
+      {"tau2", 19, 29_ms, 200_ms, 151_ms, Duration::zero()},   // deadline
+      {"tau2", 19, 29_ms, 200_ms, 150_ms, 1_ms},               // offset
+  };
+  for (const TaskParams& v : variants) {
+    TaskSet ts;
+    ts.add(TaskParams{"tau1", 20, 29_ms, 200_ms, 70_ms, Duration::zero()});
+    ts.add(v);
+    ts.add(TaskParams{"tau3", 18, 29_ms, 200_ms, 220_ms, Duration::zero()});
+    EXPECT_NE(canonicalize(ts), original) << "variant priority " << v.priority;
+    EXPECT_NE(canonical_hash(ts), original.hash);
+  }
+}
+
+TEST(Canonical, SubsetHasDistinctIdentity) {
+  TaskSet two;
+  two.add(TaskParams{"tau1", 20, 29_ms, 200_ms, 70_ms, Duration::zero()});
+  two.add(TaskParams{"tau2", 19, 29_ms, 200_ms, 150_ms, Duration::zero()});
+  EXPECT_NE(canonicalize(two), canonicalize(base_set()));
+}
+
+TEST(Canonical, RowsAreSortedByPriorityDescending) {
+  const CanonicalTaskSet canon = canonicalize(base_set());
+  ASSERT_EQ(canon.rows.size(), 3u);
+  EXPECT_GE(canon.rows[0][0], canon.rows[1][0]);
+  EXPECT_GE(canon.rows[1][0], canon.rows[2][0]);
+}
+
+TEST(Canonical, HashMatchesCanonicalize) {
+  EXPECT_EQ(canonical_hash(base_set()), canonicalize(base_set()).hash);
+}
+
+}  // namespace
+}  // namespace rtft::sched

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/assert.hpp"
 #include "support/paper_systems.hpp"
 
 namespace rtft::sched {
@@ -90,6 +91,48 @@ TEST(FeasibilityAnalysis, RemovalAllowsReAdmission) {
 TEST(FeasibilityAnalysis, RemoveUnknownReturnsFalse) {
   FeasibilityAnalysis admission;
   EXPECT_FALSE(admission.remove("ghost"));
+}
+
+TEST(FeasibilityAnalysis, ThrowingAddLeavesTheSetUnchanged) {
+  // The strong guarantee: a throwing mutation must be a no-op, because a
+  // long-lived admission object keeps serving after rejecting bad input.
+  FeasibilityAnalysis admission;
+  for (const TaskParams& t : table2_system()) ASSERT_TRUE(admission.add(t));
+
+  // Invalid parameters (zero period) throw out of validation.
+  EXPECT_THROW(admission.add(TaskParams{"bad", 5, 1_ms, Duration::zero(),
+                                        10_ms, Duration::zero()}),
+               ContractViolation);
+  // Duplicate name throws after validation.
+  EXPECT_THROW(
+      admission.add(TaskParams{"tau1", 5, 1_ms, 10_ms, 10_ms,
+                               Duration::zero()}),
+      ContractViolation);
+  EXPECT_THROW(admission.add_unchecked(
+                   TaskParams{"bad", 5, Duration::zero(), 10_ms, 10_ms,
+                              Duration::zero()}),
+               ContractViolation);
+
+  // The set is exactly what it was before the three throws.
+  EXPECT_EQ(admission.task_set().size(), 3u);
+  EXPECT_FALSE(admission.task_set().contains("bad"));
+  EXPECT_TRUE(admission.report().feasible);
+  // ...and the object still works: a legitimate admission succeeds.
+  EXPECT_TRUE(admission.add(
+      TaskParams{"late", 1, 1_ms, 400_ms, 400_ms, Duration::zero()}));
+}
+
+TEST(FeasibilityAnalysis, RemoveUnknownNeverThrowsAndPreservesState) {
+  FeasibilityAnalysis admission;
+  for (const TaskParams& t : table2_system()) ASSERT_TRUE(admission.add(t));
+  EXPECT_FALSE(admission.remove("ghost"));
+  EXPECT_NO_THROW((void)admission.remove("ghost"));
+  EXPECT_EQ(admission.task_set().size(), 3u);
+  // Removing twice: second call reports "already gone" as false, not a
+  // contract violation.
+  EXPECT_TRUE(admission.remove("tau2"));
+  EXPECT_FALSE(admission.remove("tau2"));
+  EXPECT_EQ(admission.task_set().size(), 2u);
 }
 
 TEST(FeasibilityAnalysis, AddUncheckedBypassesAdmission) {

@@ -1,0 +1,323 @@
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "sched/feasibility.hpp"
+#include "support/paper_systems.hpp"
+
+namespace rtft::serve {
+namespace {
+
+using namespace rtft::literals;
+using rtft::testsupport::table1_system;
+using rtft::testsupport::table2_system;
+
+AdmissionRequest request_for(const sched::TaskSet& ts, std::uint64_t id = 0) {
+  AdmissionRequest req;
+  req.id = id;
+  req.tasks = ts.tasks();
+  return req;
+}
+
+ServiceOptions quiet_options() {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 64;  // deep enough that unit tests stay exact-tier.
+  return opts;
+}
+
+TEST(AdmissionService, ExactTierMatchesTheOneShotOracle) {
+  AdmissionService service{quiet_options()};
+  const AdmissionResponse feasible =
+      service.admit(request_for(table2_system(), 1));
+  EXPECT_EQ(feasible.id, 1u);
+  EXPECT_EQ(feasible.status, ResponseStatus::kAnswered);
+  EXPECT_EQ(feasible.verdict, AdmissionVerdict::kAdmit);
+  EXPECT_EQ(feasible.tier, AnalysisTier::kExact);
+  EXPECT_TRUE(feasible.cross_checked);
+  EXPECT_FALSE(feasible.cache_hit);
+  EXPECT_DOUBLE_EQ(feasible.utilization,
+                   sched::analyze(table2_system()).utilization);
+
+  const AdmissionResponse infeasible =
+      service.admit(request_for(table1_system(), 2));
+  EXPECT_EQ(infeasible.status, ResponseStatus::kAnswered);
+  EXPECT_EQ(infeasible.verdict, AdmissionVerdict::kReject);
+  EXPECT_EQ(infeasible.tier, AnalysisTier::kExact);
+
+  // The engine replay agreed with the analysis on both.
+  EXPECT_EQ(service.metrics().cross_check_disagreements, 0u);
+}
+
+TEST(AdmissionService, RepeatedQueriesHitTheCacheEvenRenamed) {
+  AdmissionService service{quiet_options()};
+  const AdmissionResponse first =
+      service.admit(request_for(table2_system(), 1));
+  EXPECT_FALSE(first.cache_hit);
+
+  // Same parameters, different task names: canonical identity matches.
+  AdmissionRequest renamed = request_for(table2_system(), 2);
+  for (std::size_t i = 0; i < renamed.tasks.size(); ++i) {
+    renamed.tasks[i].name = "renamed" + std::to_string(i);
+  }
+  const AdmissionResponse second = service.admit(std::move(renamed));
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.verdict, first.verdict);
+  EXPECT_EQ(second.tier, AnalysisTier::kExact);
+  EXPECT_EQ(service.metrics().cache_hits, 1u);
+}
+
+TEST(AdmissionService, PoisonedRequestsAnswerInvalidInsteadOfThrowing) {
+  AdmissionService service{quiet_options()};
+
+  const AdmissionResponse empty = service.admit(AdmissionRequest{7, {}, {}});
+  EXPECT_EQ(empty.status, ResponseStatus::kInvalidRequest);
+  EXPECT_FALSE(empty.detail.empty());
+
+  AdmissionRequest dup = request_for(table2_system(), 8);
+  dup.tasks.push_back(dup.tasks.front());  // duplicate name.
+  EXPECT_EQ(service.admit(std::move(dup)).status,
+            ResponseStatus::kInvalidRequest);
+
+  AdmissionRequest bad = request_for(table2_system(), 9);
+  bad.tasks[0].period = Duration::zero();
+  EXPECT_EQ(service.admit(std::move(bad)).status,
+            ResponseStatus::kInvalidRequest);
+
+  // The service shrugged all three off and still answers normally.
+  EXPECT_EQ(service.admit(request_for(table2_system(), 10)).status,
+            ResponseStatus::kAnswered);
+  EXPECT_EQ(service.metrics().invalid, 3u);
+}
+
+TEST(AdmissionService, FullQueueRejectsWithRetryAfter) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  opts.autostart = false;  // no workers: the queue cannot drain.
+  AdmissionService service{opts};
+
+  std::vector<std::future<AdmissionResponse>> accepted;
+  accepted.push_back(service.submit(request_for(table2_system(), 1)));
+  accepted.push_back(service.submit(request_for(table2_system(), 2)));
+  auto refused = service.submit(request_for(table2_system(), 3));
+  // The rejection resolves immediately, without any worker running.
+  const AdmissionResponse resp = refused.get();
+  EXPECT_EQ(resp.status, ResponseStatus::kRejectedFull);
+  EXPECT_TRUE(resp.retry_after.is_positive());
+
+  service.start();  // accepted requests are still answered.
+  for (auto& f : accepted) {
+    EXPECT_EQ(f.get().status, ResponseStatus::kAnswered);
+  }
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.submitted, 3u);
+  EXPECT_EQ(m.accepted, 2u);
+  EXPECT_EQ(m.rejected_full, 1u);
+  EXPECT_LE(m.max_queue_depth, opts.queue_capacity);
+}
+
+TEST(AdmissionService, ExpiredRequestsAreShedNotAnsweredLate) {
+  ServiceOptions opts = quiet_options();
+  opts.autostart = false;
+  AdmissionService service{opts};
+
+  AdmissionRequest stale = request_for(table2_system(), 1);
+  stale.time_budget = Duration::us(1);
+  auto future = service.submit(std::move(stale));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service.start();  // by now the budget has long passed.
+  const AdmissionResponse resp = future.get();
+  EXPECT_EQ(resp.status, ResponseStatus::kShedDeadline);
+  EXPECT_EQ(service.metrics().shed_deadline, 1u);
+}
+
+TEST(AdmissionService, LadderDegradesUnderDepthAndRecoversWhenDrained) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 10;
+  opts.autostart = false;
+  // Defaults: rta sheds at fill 0.5, bounds at 0.8, recovery at half.
+  AdmissionService service{opts};
+
+  // Ten distinct requests (costs differ) so the cache cannot short-cut.
+  std::vector<std::future<AdmissionResponse>> futures;
+  for (int i = 0; i < 10; ++i) {
+    sched::TaskSet ts;
+    ts.add(sched::TaskParams{"a", 2, Duration::ms(1 + i), 100_ms, 100_ms,
+                             Duration::zero()});
+    ts.add(sched::TaskParams{"b", 1, 10_ms, 200_ms, 200_ms, Duration::zero()});
+    futures.push_back(
+        service.submit(request_for(ts, static_cast<std::uint64_t>(i))));
+  }
+  service.start();
+  std::vector<AdmissionResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& f : futures) responses.push_back(f.get());
+
+  // Pop 1 sees fill 1.0 -> the floor of the ladder. The single worker
+  // then drains FIFO, so fill decays one step per response and the
+  // ladder climbs back: bound clears at fill <= 0.4, rta at <= 0.25.
+  EXPECT_EQ(responses.front().tier, AnalysisTier::kBound);
+  EXPECT_EQ(responses.back().tier, AnalysisTier::kExact);
+  for (const AdmissionResponse& r : responses) {
+    EXPECT_EQ(r.status, ResponseStatus::kAnswered);
+  }
+  const ServiceMetrics m = service.metrics();
+  EXPECT_GE(m.degrade_steps, 1u);
+  EXPECT_GE(m.recover_steps, 1u);
+  EXPECT_EQ(m.current_tier, AnalysisTier::kExact);
+  EXPECT_GT(m.answered_by_tier[2], 0u);  // some answers were bound-tier...
+  EXPECT_GT(m.answered_by_tier[0], 0u);  // ...and the tail exact again.
+}
+
+TEST(AdmissionService, BoundTierIsHonest) {
+  // Capacity 1 means every pop observes fill 1.0: permanently degraded
+  // to the bound tier — a convenient harness for its semantics.
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  AdmissionService service{opts};
+
+  // Low-utilization RM set with implicit deadlines: the hyperbolic
+  // bound admits it.
+  sched::TaskSet easy;
+  easy.add(sched::TaskParams{"a", 2, 10_ms, 100_ms, 100_ms, Duration::zero()});
+  easy.add(sched::TaskParams{"b", 1, 20_ms, 200_ms, 200_ms, Duration::zero()});
+  const AdmissionResponse admit = service.admit(request_for(easy, 1));
+  EXPECT_EQ(admit.tier, AnalysisTier::kBound);
+  EXPECT_EQ(admit.verdict, AdmissionVerdict::kAdmit);
+
+  // U > 1: provably infeasible even at the floor tier.
+  sched::TaskSet overload;
+  overload.add(
+      sched::TaskParams{"a", 2, 60_ms, 100_ms, 100_ms, Duration::zero()});
+  overload.add(
+      sched::TaskParams{"b", 1, 50_ms, 100_ms, 100_ms, Duration::zero()});
+  EXPECT_EQ(service.admit(request_for(overload, 2)).verdict,
+            AdmissionVerdict::kReject);
+
+  // Constrained deadlines (D < T): the sufficient bounds do not apply;
+  // the honest degraded answer is "inconclusive", never a guess. The
+  // exact tiers would admit this set (WCRT 29ms <= 70ms deadline).
+  const AdmissionResponse careful =
+      service.admit(request_for(table2_system(), 3));
+  EXPECT_EQ(careful.tier, AnalysisTier::kBound);
+  EXPECT_EQ(careful.verdict, AdmissionVerdict::kInconclusive);
+}
+
+TEST(AdmissionService, OversizeCrossChecksFallBackToRtaOnly) {
+  ServiceOptions opts = quiet_options();
+  opts.max_cross_check_jobs = 10;  // tiny allowance, easy to exceed.
+  AdmissionService service{opts};
+
+  // 1 ms next to 10 s: the engine window (8 x 10 s) would release ~80k
+  // jobs of the fast task — far past the allowance.
+  sched::TaskSet mixed;
+  mixed.add(
+      sched::TaskParams{"fast", 2, Duration::us(10), 1_ms, 1_ms, Duration::zero()});
+  mixed.add(sched::TaskParams{"slow", 1, Duration::s(1), Duration::s(10),
+                              Duration::s(10), Duration::zero()});
+  const AdmissionResponse resp = service.admit(request_for(mixed, 1));
+  EXPECT_EQ(resp.status, ResponseStatus::kAnswered);
+  EXPECT_EQ(resp.tier, AnalysisTier::kRtaOnly);  // tagged honestly.
+  EXPECT_FALSE(resp.cross_checked);
+  EXPECT_EQ(resp.verdict, AdmissionVerdict::kAdmit);
+  EXPECT_EQ(service.metrics().oversize_cross_check_skips, 1u);
+}
+
+TEST(AdmissionService, SubmitAfterStopAnswersShutdownImmediately) {
+  AdmissionService service{quiet_options()};
+  service.stop();
+  const AdmissionResponse resp =
+      service.submit(request_for(table2_system(), 1)).get();
+  EXPECT_EQ(resp.status, ResponseStatus::kShutdown);
+  EXPECT_EQ(service.metrics().rejected_shutdown, 1u);
+  service.stop();  // idempotent.
+}
+
+TEST(AdmissionService, StopWithoutStartStillAnswersEveryAcceptedRequest) {
+  ServiceOptions opts = quiet_options();
+  opts.autostart = false;
+  AdmissionService service{opts};
+  auto a = service.submit(request_for(table2_system(), 1));
+  auto b = service.submit(request_for(table1_system(), 2));
+  service.stop();  // no worker ever ran; the promises must still resolve.
+  EXPECT_EQ(a.get().status, ResponseStatus::kShutdown);
+  EXPECT_EQ(b.get().status, ResponseStatus::kShutdown);
+}
+
+TEST(AdmissionService, InjectedWorkerFaultsAreContained) {
+  ServiceOptions opts = quiet_options();
+  opts.faults.worker_throw_every = 2;  // every 2nd processed request.
+  AdmissionService service{opts};
+  std::uint64_t errors = 0;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    const AdmissionResponse resp =
+        service.admit(request_for(table2_system(), i));
+    if (resp.status == ResponseStatus::kWorkerError) {
+      ++errors;
+      EXPECT_EQ(resp.detail, "injected worker fault");
+    } else {
+      EXPECT_EQ(resp.status, ResponseStatus::kAnswered);
+    }
+  }
+  EXPECT_EQ(errors, 3u);  // requests 2, 4, 6 — and the worker survived.
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.worker_errors, 3u);
+  EXPECT_EQ(m.faults_injected, 3u);
+  EXPECT_EQ(m.answered, 3u);
+}
+
+TEST(AdmissionService, InjectedClockSkipExpiresQueuedDeadlines) {
+  ServiceOptions opts = quiet_options();
+  opts.faults.clock_skip_every = 1;
+  opts.faults.clock_skip = Duration::s(10);
+  AdmissionService service{opts};
+  AdmissionRequest req = request_for(table2_system(), 1);
+  req.time_budget = Duration::s(1);  // generous — but the clock jumps 10s.
+  EXPECT_EQ(service.admit(std::move(req)).status,
+            ResponseStatus::kShedDeadline);
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.clock_skips, 1u);
+  EXPECT_EQ(m.shed_deadline, 1u);
+}
+
+TEST(AdmissionService, InjectedCacheCorruptionIsCaughtAndRecomputed) {
+  ServiceOptions opts = quiet_options();
+  opts.faults.corrupt_cache_every = 3;  // fires on the 3rd request.
+  AdmissionService service{opts};
+  const AdmissionResponse first =
+      service.admit(request_for(table2_system(), 1));
+  const AdmissionResponse second =
+      service.admit(request_for(table2_system(), 2));
+  EXPECT_TRUE(second.cache_hit);
+  // Request 3: its cache entry is corrupted right before lookup. The
+  // checksum must catch it and the verdict must be recomputed — and
+  // still agree.
+  const AdmissionResponse third =
+      service.admit(request_for(table2_system(), 3));
+  EXPECT_EQ(third.status, ResponseStatus::kAnswered);
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_EQ(third.verdict, first.verdict);
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.cache_corruption_detected, 1u);
+  EXPECT_EQ(m.faults_injected, 1u);
+}
+
+TEST(AdmissionService, MetricsSummaryMentionsTheHeadlines) {
+  AdmissionService service{quiet_options()};
+  (void)service.admit(request_for(table2_system(), 1));
+  const std::string s = service.metrics().summary();
+  EXPECT_NE(s.find("answered"), std::string::npos);
+  EXPECT_NE(s.find("ladder"), std::string::npos);
+  EXPECT_NE(s.find("cache"), std::string::npos);
+  EXPECT_NE(s.find("exact"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtft::serve

@@ -1,0 +1,129 @@
+#include "serve/verdict_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "sched/canonical.hpp"
+
+namespace rtft::serve {
+namespace {
+
+/// Distinct synthetic keys; the cache compares full keys, so rows carry
+/// the discriminating value too (mimicking real canonical sets).
+sched::CanonicalTaskSet key_of(std::int64_t n) {
+  sched::CanonicalTaskSet key;
+  key.rows.push_back({n, 1, 2, 3, 0});
+  key.hash = static_cast<std::uint64_t>(n) * 0x9e3779b97f4a7c15ULL + 1;
+  return key;
+}
+
+CachedVerdict exact_admit() {
+  return CachedVerdict{AdmissionVerdict::kAdmit, AnalysisTier::kExact, 0.5};
+}
+
+TEST(VerdictCache, MissThenInsertThenHit) {
+  VerdictCache cache(4);
+  EXPECT_FALSE(cache.lookup(key_of(1), AnalysisTier::kExact).has_value());
+  cache.insert(key_of(1), exact_admit());
+  const auto hit = cache.lookup(key_of(1), AnalysisTier::kExact);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->verdict, AdmissionVerdict::kAdmit);
+  EXPECT_EQ(hit->tier, AnalysisTier::kExact);
+  EXPECT_DOUBLE_EQ(hit->utilization, 0.5);
+  const VerdictCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(VerdictCache, WeakerCachedTierIsNotServedAtAStrongerActiveTier) {
+  VerdictCache cache(4);
+  cache.insert(key_of(1), CachedVerdict{AdmissionVerdict::kInconclusive,
+                                        AnalysisTier::kBound, 0.7});
+  // Service currently exact: a bound-tier answer must not be served.
+  EXPECT_FALSE(cache.lookup(key_of(1), AnalysisTier::kExact).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(1), AnalysisTier::kRtaOnly).has_value());
+  // Service degraded to bound: the entry is exactly as strong, serve it.
+  EXPECT_TRUE(cache.lookup(key_of(1), AnalysisTier::kBound).has_value());
+}
+
+TEST(VerdictCache, StrongerCachedTierServesEveryActiveTier) {
+  VerdictCache cache(4);
+  cache.insert(key_of(1), exact_admit());
+  EXPECT_TRUE(cache.lookup(key_of(1), AnalysisTier::kExact).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(1), AnalysisTier::kRtaOnly).has_value());
+  const auto hit = cache.lookup(key_of(1), AnalysisTier::kBound);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->tier, AnalysisTier::kExact);  // tag keeps the true tier.
+}
+
+TEST(VerdictCache, InsertNeverDowngradesAStrongerEntry) {
+  VerdictCache cache(4);
+  cache.insert(key_of(1), exact_admit());
+  cache.insert(key_of(1), CachedVerdict{AdmissionVerdict::kInconclusive,
+                                        AnalysisTier::kBound, 0.5});
+  const auto hit = cache.lookup(key_of(1), AnalysisTier::kExact);
+  ASSERT_TRUE(hit.has_value());  // still the exact entry.
+  EXPECT_EQ(hit->verdict, AdmissionVerdict::kAdmit);
+  // The reverse direction upgrades.
+  cache.insert(key_of(2), CachedVerdict{AdmissionVerdict::kInconclusive,
+                                        AnalysisTier::kBound, 0.5});
+  cache.insert(key_of(2), exact_admit());
+  const auto upgraded = cache.lookup(key_of(2), AnalysisTier::kExact);
+  ASSERT_TRUE(upgraded.has_value());
+  EXPECT_EQ(upgraded->tier, AnalysisTier::kExact);
+}
+
+TEST(VerdictCache, EvictsLeastRecentlyUsedAtCapacity) {
+  VerdictCache cache(2);
+  cache.insert(key_of(1), exact_admit());
+  cache.insert(key_of(2), exact_admit());
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_TRUE(cache.lookup(key_of(1), AnalysisTier::kExact).has_value());
+  cache.insert(key_of(3), exact_admit());
+  EXPECT_TRUE(cache.lookup(key_of(1), AnalysisTier::kExact).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(2), AnalysisTier::kExact).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(3), AnalysisTier::kExact).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(VerdictCache, CorruptionIsDetectedDroppedAndCounted) {
+  VerdictCache cache(4);
+  cache.insert(key_of(1), exact_admit());
+  ASSERT_TRUE(cache.corrupt(key_of(1)));
+  // The damaged entry must never be served — detected, counted, erased.
+  EXPECT_FALSE(cache.lookup(key_of(1), AnalysisTier::kExact).has_value());
+  EXPECT_EQ(cache.stats().corruption_detected, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // A fresh insert fully heals the slot.
+  cache.insert(key_of(1), exact_admit());
+  EXPECT_TRUE(cache.lookup(key_of(1), AnalysisTier::kExact).has_value());
+}
+
+TEST(VerdictCache, CorruptingAMissingKeyReportsFalse) {
+  VerdictCache cache(4);
+  EXPECT_FALSE(cache.corrupt(key_of(9)));
+}
+
+TEST(VerdictCache, HashCollisionsAreKeptApartByFullKeyCompare) {
+  VerdictCache cache(4);
+  sched::CanonicalTaskSet a = key_of(1);
+  sched::CanonicalTaskSet b = key_of(2);
+  b.hash = a.hash;  // forced collision: same bucket, different rows.
+  cache.insert(a, exact_admit());
+  cache.insert(b, CachedVerdict{AdmissionVerdict::kReject,
+                                AnalysisTier::kExact, 1.5});
+  const auto hit_a = cache.lookup(a, AnalysisTier::kExact);
+  const auto hit_b = cache.lookup(b, AnalysisTier::kExact);
+  ASSERT_TRUE(hit_a.has_value());
+  ASSERT_TRUE(hit_b.has_value());
+  EXPECT_EQ(hit_a->verdict, AdmissionVerdict::kAdmit);
+  EXPECT_EQ(hit_b->verdict, AdmissionVerdict::kReject);
+}
+
+TEST(VerdictCache, ZeroCapacityIsAContractViolation) {
+  EXPECT_THROW(VerdictCache(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rtft::serve

@@ -1,0 +1,132 @@
+// ProcessTransport under benign signal fire: poll(2), the pipe reads and
+// the reaping waitpid(2) must all restart across EINTR instead of
+// abandoning a child or surfacing a phantom failure. A SIGUSR1 handler
+// installed WITHOUT SA_RESTART makes every delivery interrupt whatever
+// syscall the transport is blocked in; a helper thread then peppers the
+// polling thread while real children run to completion.
+#include <gtest/gtest.h>
+
+#include <pthread.h>
+#include <signal.h>
+#include <sys/wait.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "sweep/coordinator.hpp"
+
+namespace rtft::sweep {
+namespace {
+
+std::atomic<std::uint64_t> signals_received{0};
+
+extern "C" void count_signal(int) { signals_received.fetch_add(1); }
+
+/// Installs the non-restarting SIGUSR1 handler for the test's lifetime
+/// and restores the previous disposition afterwards.
+class NonRestartingSigusr1 {
+ public:
+  NonRestartingSigusr1() {
+    struct sigaction action = {};
+    action.sa_handler = count_signal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // deliberately no SA_RESTART: force EINTR.
+    sigaction(SIGUSR1, &action, &previous_);
+  }
+  ~NonRestartingSigusr1() { sigaction(SIGUSR1, &previous_, nullptr); }
+
+ private:
+  struct sigaction previous_ = {};
+};
+
+/// Fires SIGUSR1 at `target` every millisecond until stopped.
+class SignalStorm {
+ public:
+  explicit SignalStorm(pthread_t target)
+      : thread_([this, target] {
+          while (!stop_.load()) {
+            pthread_kill(target, SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }) {}
+  ~SignalStorm() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+TEST(ProcessTransportEintr, PollAndReapSurviveSignalFire) {
+  NonRestartingSigusr1 handler;
+  SignalStorm storm(pthread_self());
+
+  ProcessTransport transport;
+  // Long enough that the storm provably interrupts the transport while
+  // the child is still alive (over a hundred EINTRs across its run).
+  const std::uint64_t worker =
+      transport.spawn({"/bin/sh", "-c", "sleep 0.2; exit 0"});
+
+  std::optional<WorkerEvent> exit_event;
+  const Duration deadline = transport.now() + Duration::s(30);
+  while (transport.now() < deadline) {
+    std::optional<WorkerEvent> ev = transport.poll(Duration::ms(50));
+    if (!ev) continue;  // timeout slice; keep waiting.
+    if (ev->kind == WorkerEvent::Kind::kExit) {
+      exit_event = ev;
+      break;
+    }
+  }
+  ASSERT_TRUE(exit_event.has_value())
+      << "worker exit was lost under signal fire";
+  EXPECT_EQ(exit_event->worker, worker);
+  EXPECT_EQ(exit_event->exit_code, 0) << "clean exit misreported";
+  // The storm genuinely hit this thread while it was waiting.
+  EXPECT_GT(signals_received.load(), 0u);
+}
+
+TEST(ProcessTransportEintr, NonzeroExitStatusSurvivesSignalFire) {
+  NonRestartingSigusr1 handler;
+  SignalStorm storm(pthread_self());
+
+  ProcessTransport transport;
+  (void)transport.spawn({"/bin/sh", "-c", "sleep 0.1; exit 7"});
+  std::optional<WorkerEvent> exit_event;
+  const Duration deadline = transport.now() + Duration::s(30);
+  while (transport.now() < deadline) {
+    std::optional<WorkerEvent> ev = transport.poll(Duration::ms(50));
+    if (ev && ev->kind == WorkerEvent::Kind::kExit) {
+      exit_event = ev;
+      break;
+    }
+  }
+  ASSERT_TRUE(exit_event.has_value());
+  EXPECT_EQ(exit_event->exit_code, 7) << "exit status corrupted by EINTR";
+}
+
+TEST(ProcessTransportEintr, DestructorReapsLiveChildrenUnderSignalFire) {
+  NonRestartingSigusr1 handler;
+  SignalStorm storm(pthread_self());
+  {
+    ProcessTransport transport;
+    // Children that would outlive the transport by far: the destructor
+    // must SIGKILL and reap every one even with EINTR in its waitpid.
+    for (int i = 0; i < 3; ++i) {
+      (void)transport.spawn({"/bin/sh", "-c", "sleep 600"});
+    }
+  }
+  // If the destructor leaked a zombie or lost a child, the process would
+  // still have children: waitpid(-1) would find one instead of ECHILD.
+  int status = 0;
+  errno = 0;
+  const int rc = waitpid(-1, &status, WNOHANG);
+  EXPECT_EQ(rc, -1);
+  EXPECT_EQ(errno, ECHILD) << "transport destructor left a child behind";
+}
+
+}  // namespace
+}  // namespace rtft::sweep
