@@ -36,10 +36,14 @@ bool bounds_applicable(const sched::TaskSet& ts) {
   }
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     for (std::size_t j = 0; j < tasks.size(); ++j) {
-      // RM-consistent: a strictly shorter period never has the strictly
-      // lower priority.
+      // Strictly RM-consistent: a strictly shorter period must have a
+      // strictly higher priority. Equal priorities across different
+      // periods fail too — the model (TaskSet::HP) makes equal-priority
+      // tasks mutually interfering, so the short-period task suffers
+      // interference RM never allows and the bounds stop being
+      // sufficient.
       if (tasks[i].period < tasks[j].period &&
-          tasks[i].priority < tasks[j].priority) {
+          tasks[i].priority <= tasks[j].priority) {
         return false;
       }
     }
@@ -235,6 +239,14 @@ void AdmissionService::worker_loop() {
       resp.status = ResponseStatus::kWorkerError;
       resp.detail = e.what();
       worker_errors_.fetch_add(1);
+    } catch (...) {
+      // A non-std::exception throw escaping the thread entrypoint would
+      // std::terminate() the whole service and abandon the promise.
+      resp = AdmissionResponse{};
+      resp.id = item.request.id;
+      resp.status = ResponseStatus::kWorkerError;
+      resp.detail = "analysis threw a non-standard exception";
+      worker_errors_.fetch_add(1);
     }
     note_latency(Duration::ns(steady_ns() - t0));
     item.promise.set_value(std::move(resp));
@@ -354,7 +366,10 @@ CachedVerdict AdmissionService::compute(WorkerContext& ctx,
   if (jobs > opts_.max_cross_check_jobs) {
     // A 1 ns period next to a 1000 s one must not monopolize a worker:
     // keep the analytic answer and tag it honestly as not cross-checked.
+    // Mark the tier as this key's ceiling so exact-tier lookups still
+    // hit the cache — recomputing would skip the cross-check again.
     out.tier = AnalysisTier::kRtaOnly;
+    out.tier_is_ceiling = true;
     oversize_cross_check_skips_.fetch_add(1);
     return out;
   }

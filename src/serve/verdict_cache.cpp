@@ -38,6 +38,7 @@ std::uint64_t VerdictCache::checksum_of(const sched::CanonicalTaskSet& key,
   fnv_mix(h, key.hash);
   fnv_mix(h, static_cast<std::uint64_t>(value.verdict));
   fnv_mix(h, static_cast<std::uint64_t>(value.tier));
+  fnv_mix(h, static_cast<std::uint64_t>(value.tier_is_ceiling));
   fnv_mix(h, bits_of(value.utilization));
   return h;
 }
@@ -71,9 +72,12 @@ std::optional<CachedVerdict> VerdictCache::lookup(
     return std::nullopt;
   }
   if (static_cast<std::uint8_t>(it->value.tier) >
-      static_cast<std::uint8_t>(active)) {
+          static_cast<std::uint8_t>(active) &&
+      !it->value.tier_is_ceiling) {
     // Cached answer is weaker than what the service would compute right
-    // now; recompute (and insert() will then upgrade the entry).
+    // now; recompute (and insert() will then upgrade the entry). A
+    // ceiling entry is exempt: it already is the strongest answer this
+    // key can get.
     ++stats_.misses;
     return std::nullopt;
   }
@@ -91,8 +95,14 @@ void VerdictCache::insert(const sched::CanonicalTaskSet& key,
     // already got erased on lookup, so what is here verified).
     if (static_cast<std::uint8_t>(value.tier) <=
         static_cast<std::uint8_t>(it->value.tier)) {
+      const bool keep_ceiling =
+          value.tier == it->value.tier && it->value.tier_is_ceiling;
       it->value = value;
-      it->checksum = checksum_of(it->key, value);
+      // The ceiling is a property of the key (its engine window is
+      // oversize no matter who computes it): an equal-tier refresh must
+      // not wash it away.
+      if (keep_ceiling) it->value.tier_is_ceiling = true;
+      it->checksum = checksum_of(it->key, it->value);
     }
     lru_.splice(lru_.begin(), lru_, it);
     return;

@@ -36,6 +36,13 @@ struct CachedVerdict {
   AdmissionVerdict verdict = AdmissionVerdict::kInconclusive;
   AnalysisTier tier = AnalysisTier::kExact;
   double utilization = 0.0;
+  /// True when `tier` is the strongest answer the service can ever
+  /// produce for this key (the kExact engine cross-check was refused as
+  /// oversize). Lookup serves such an entry at any active tier: a
+  /// stronger recompute is impossible, so demanding one would turn the
+  /// entry into a permanent cache miss for exactly the pathological
+  /// sets the cross-check cap exists to contain.
+  bool tier_is_ceiling = false;
 };
 
 /// Counters a snapshot of which feeds ServiceMetrics.
@@ -52,9 +59,10 @@ class VerdictCache {
 
   /// Returns the cached answer for `key` when present, uncorrupted, and
   /// computed at a tier at least as strong as `active` (numerically <=,
-  /// kExact being strongest); bumps the entry to most-recently-used.
-  /// Counts a miss otherwise; a corrupted entry is additionally counted
-  /// and erased.
+  /// kExact being strongest) — or marked tier_is_ceiling, meaning no
+  /// stronger answer exists to recompute; bumps the entry to
+  /// most-recently-used. Counts a miss otherwise; a corrupted entry is
+  /// additionally counted and erased.
   [[nodiscard]] std::optional<CachedVerdict> lookup(
       const sched::CanonicalTaskSet& key, AnalysisTier active);
 

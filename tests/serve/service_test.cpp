@@ -210,6 +210,29 @@ TEST(AdmissionService, BoundTierIsHonest) {
   EXPECT_EQ(careful.verdict, AdmissionVerdict::kInconclusive);
 }
 
+TEST(AdmissionService, BoundTierRefusesEqualPriorityAcrossPeriods) {
+  // Equal priorities across *different* periods are not RM: the model
+  // (TaskSet::HP) makes equal-priority tasks mutually interfering, so
+  // the short-period task suffers interference Liu-Layland/hyperbolic
+  // never account for. This set passes both bounds (U = 0.8 <= LL(2),
+  // (1.4)(1.4) <= 2) yet exact RTA rejects it (R_b = 440ms > 100ms):
+  // admitting it from the bound tier would be degraded-and-*wrong*.
+  sched::TaskSet trap;
+  trap.add(sched::TaskParams{"a", 1, 400_ms, 1000_ms, 1000_ms,
+                             Duration::zero()});
+  trap.add(
+      sched::TaskParams{"b", 1, 40_ms, 100_ms, 100_ms, Duration::zero()});
+  ASSERT_FALSE(sched::analyze(trap).feasible);
+
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;  // fill 1.0 at every pop: permanently kBound.
+  AdmissionService service{opts};
+  const AdmissionResponse resp = service.admit(request_for(trap, 1));
+  EXPECT_EQ(resp.tier, AnalysisTier::kBound);
+  EXPECT_EQ(resp.verdict, AdmissionVerdict::kInconclusive);
+}
+
 TEST(AdmissionService, OversizeCrossChecksFallBackToRtaOnly) {
   ServiceOptions opts = quiet_options();
   opts.max_cross_check_jobs = 10;  // tiny allowance, easy to exceed.
@@ -228,6 +251,16 @@ TEST(AdmissionService, OversizeCrossChecksFallBackToRtaOnly) {
   EXPECT_FALSE(resp.cross_checked);
   EXPECT_EQ(resp.verdict, AdmissionVerdict::kAdmit);
   EXPECT_EQ(service.metrics().oversize_cross_check_skips, 1u);
+
+  // The kRtaOnly answer is the strongest this key can ever get (the
+  // cross-check is refused every time), so an exact-tier repeat must be
+  // a cache hit — not a permanent miss that recomputes the full RTA on
+  // every request for exactly the pathological sets the cap contains.
+  const AdmissionResponse again = service.admit(request_for(mixed, 2));
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.tier, AnalysisTier::kRtaOnly);
+  EXPECT_EQ(again.verdict, AdmissionVerdict::kAdmit);
+  EXPECT_EQ(service.metrics().oversize_cross_check_skips, 1u);  // no rerun.
 }
 
 TEST(AdmissionService, SubmitAfterStopAnswersShutdownImmediately) {

@@ -73,6 +73,31 @@ TEST(VerdictCache, InsertNeverDowngradesAStrongerEntry) {
   EXPECT_EQ(upgraded->tier, AnalysisTier::kExact);
 }
 
+TEST(VerdictCache, CeilingEntryServesEveryActiveTier) {
+  VerdictCache cache(4);
+  // kRtaOnly marked as the key's ceiling: the strongest answer this key
+  // can ever get (the engine cross-check is refused as oversize).
+  cache.insert(key_of(1), CachedVerdict{AdmissionVerdict::kAdmit,
+                                        AnalysisTier::kRtaOnly, 0.5, true});
+  // An exact-tier lookup must hit — recomputing could do no better, so
+  // demanding kExact would make this a permanent miss.
+  const auto hit = cache.lookup(key_of(1), AnalysisTier::kExact);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->tier, AnalysisTier::kRtaOnly);  // tag stays honest.
+  EXPECT_TRUE(hit->tier_is_ceiling);
+  EXPECT_TRUE(cache.lookup(key_of(1), AnalysisTier::kRtaOnly).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(1), AnalysisTier::kBound).has_value());
+  EXPECT_EQ(cache.stats().misses, 0u);
+
+  // An equal-tier refresh must not wash the ceiling away: the oversize
+  // window is a property of the key, not of who computed the entry.
+  cache.insert(key_of(1), CachedVerdict{AdmissionVerdict::kAdmit,
+                                        AnalysisTier::kRtaOnly, 0.5, false});
+  const auto kept = cache.lookup(key_of(1), AnalysisTier::kExact);
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_TRUE(kept->tier_is_ceiling);
+}
+
 TEST(VerdictCache, EvictsLeastRecentlyUsedAtCapacity) {
   VerdictCache cache(2);
   cache.insert(key_of(1), exact_admit());
