@@ -6,7 +6,10 @@
 //   sweep_coordinator --runner BIN --output-dir DIR
 //                     [--scenarios N] [--seed S] [--workers W]
 //                     [--tasks ...] [--util ...] [--detector-cost-us ...]
-//                     [--stop-latency-us ...] [--policy NAME]
+//                     [--stop-latency-us ...] [--cores ...]
+//                     [--quantum-us ...]
+//                     [--partitioner both|first-fit|fault-aware]
+//                     [--core-fault F] [--policy NAME]
 //                     [--horizon-periods K] [--event-queue wheel|heap]
 //                     [--sink-mode static|virtual]
 //                     [--cost-spec flat|function]
@@ -51,7 +54,10 @@ using namespace rtft;
       "          [--scenarios N] [--seed S] [--workers W]\n"
       "          [--tasks n1,n2,...] [--util u1,u2,...]\n"
       "          [--detector-cost-us c1,c2,...]\n"
-      "          [--stop-latency-us l1,l2,...] [--policy NAME]\n"
+      "          [--stop-latency-us l1,l2,...]\n"
+      "          [--cores m1,m2,...] [--quantum-us q1,q2,...]\n"
+      "          [--partitioner both|first-fit|fault-aware]\n"
+      "          [--core-fault F] [--policy NAME]\n"
       "          [--horizon-periods K] [--event-queue wheel|heap]\n"
       "          [--sink-mode static|virtual] [--cost-spec flat|function]\n"
       "          [--shards M] [--max-procs P] [--retry-budget R]\n"

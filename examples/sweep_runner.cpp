@@ -4,7 +4,10 @@
 //   sweep_runner [--scenarios N] [--workers W] [--seed S]
 //                [--tasks n1,n2,...] [--util u1,u2,...]
 //                [--detector-cost-us c1,c2,...]
-//                [--stop-latency-us l1,l2,...] [--policy NAME]
+//                [--stop-latency-us l1,l2,...]
+//                [--cores m1,m2,...] [--quantum-us q1,q2,...]
+//                [--partitioner both|first-fit|fault-aware]
+//                [--core-fault F] [--policy NAME]
 //                [--horizon-periods K] [--event-queue wheel|heap]
 //                [--sink-mode static|virtual] [--cost-spec flat|function]
 //                [--verdicts] [--full-traces] [--progress]
@@ -33,6 +36,15 @@
 // CostSpec vs std::function closure); all four combinations are
 // verdict- and fingerprint-equivalent — 'virtual' and 'function' are
 // the retained oracles.
+//
+// --cores sweeps the partitioned-multiprocessor axis: for M > 1 each
+// scenario is additionally placed onto an M-core fleet (first-fit and
+// fault-aware partitioners, per --partitioner) and run through a
+// mid-horizon core failure at --core-fault x horizon (0 disables the
+// fault). --quantum-us sweeps the release-quantizer resolution; the
+// default 1000 keeps the historical exact-threshold behavior, any other
+// value arms nearest-rounding on the paper's jRate grid. Both axes
+// fingerprint only when off their defaults, so historical pins hold.
 //
 // --shard I/N runs only shard I (0-based) of an N-way contiguous
 // partition of the scenario index space and, with --emit-shard, writes
@@ -75,7 +87,10 @@ using namespace rtft;
       "usage: %s [--scenarios N] [--workers W] [--seed S]\n"
       "          [--tasks n1,n2,...] [--util u1,u2,...]\n"
       "          [--detector-cost-us c1,c2,...]\n"
-      "          [--stop-latency-us l1,l2,...] [--policy NAME]\n"
+      "          [--stop-latency-us l1,l2,...]\n"
+      "          [--cores m1,m2,...] [--quantum-us q1,q2,...]\n"
+      "          [--partitioner both|first-fit|fault-aware]\n"
+      "          [--core-fault F] [--policy NAME]\n"
       "          [--horizon-periods K] [--event-queue wheel|heap]\n"
       "          [--sink-mode static|virtual] [--cost-spec flat|function]\n"
       "          [--verdicts] [--full-traces] [--progress]\n"
@@ -268,30 +283,32 @@ int main(int argc, char** argv) {
 
   sweep::SweepReport report;
   if (!merge_paths.empty()) {
-    std::vector<sweep::ShardResult> shards;
-    shards.reserve(merge_paths.size());
-    // Load each file under its own handler: a defect report that does
-    // not say *which* of a dozen files is truncated or stale is
-    // useless to whoever has to clean the output directory up.
+    // Incremental merge: each file folds into the merger as it loads,
+    // so peak memory is one in-flight ShardResult (plus any shards
+    // buffered while waiting for a predecessor range), not the whole
+    // shard list. Load each file under its own handler: a defect
+    // report that does not say *which* of a dozen files is truncated
+    // or stale is useless to whoever has to clean the output
+    // directory up.
+    sweep::ShardMerger merger;
+    std::vector<std::pair<std::string, sweep::ShardSpec>> origins;
+    origins.reserve(merge_paths.size());
     for (const std::string& path : merge_paths) {
       try {
-        shards.push_back(sweep::load_shard_json(read_file(path)));
+        sweep::ShardResult shard = sweep::load_shard_json(read_file(path));
+        origins.emplace_back(path, shard.shard);
+        merger.add(std::move(shard));
       } catch (const sweep::ShardError& e) {
         std::fprintf(stderr, "error: shard file '%s': %s\n", path.c_str(),
                      e.what());
         return 2;
       }
     }
-    // Cross-file defects (wrong sweep, gaps, overlaps) are reported by
-    // merge() in terms of index ranges; append the file -> range map so
-    // the message still points at files.
-    std::vector<std::pair<std::string, sweep::ShardSpec>> origins;
-    origins.reserve(shards.size());
-    for (std::size_t i = 0; i < shards.size(); ++i) {
-      origins.emplace_back(merge_paths[i], shards[i].shard);
-    }
+    // Cross-file defects (gaps, short coverage) surface at finish(); the
+    // messages speak in index ranges, so append the file -> range map to
+    // keep them pointing at files.
     try {
-      report = sweep::merge(std::move(shards));
+      report = merger.finish();
     } catch (const sweep::ShardError& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       for (const auto& [path, spec] : origins) {

@@ -1,0 +1,172 @@
+#include "multicore/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "sched/feasibility.hpp"
+
+namespace rtft::multicore {
+namespace {
+
+/// Task ids ordered by decreasing utilization, ties by id — the
+/// deterministic first-fit-decreasing visit order.
+std::vector<sched::TaskId> by_utilization_desc(const sched::TaskSet& ts) {
+  std::vector<sched::TaskId> order(ts.size());
+  std::iota(order.begin(), order.end(), sched::TaskId{0});
+  std::sort(order.begin(), order.end(),
+            [&](sched::TaskId a, sched::TaskId b) {
+              const double ua = ts[a].utilization();
+              const double ub = ts[b].utilization();
+              return ua != ub ? ua > ub : a < b;
+            });
+  return order;
+}
+
+/// Builds the TaskSet a core would run from a list of task ids.
+sched::TaskSet subset(const sched::TaskSet& ts,
+                      const std::vector<sched::TaskId>& ids) {
+  sched::TaskSet out;
+  for (const sched::TaskId id : ids) out.add(ts[id]);
+  return out;
+}
+
+/// First-fit primary assignment under RTA admission, shared by both
+/// strategies so their primary phases are identical (and so the
+/// fault-aware placement is feasible only when first-fit's is —
+/// backup admission can only subtract).
+bool place_primaries(const sched::TaskSet& ts, std::size_t cores,
+                     Placement& p, std::string& reason) {
+  std::vector<std::vector<sched::TaskId>> on_core(cores);
+  for (const sched::TaskId id : by_utilization_desc(ts)) {
+    bool placed = false;
+    for (std::size_t c = 0; c < cores && !placed; ++c) {
+      std::vector<sched::TaskId> candidate = on_core[c];
+      candidate.push_back(id);
+      if (sched::is_feasible(subset(ts, candidate))) {
+        on_core[c] = std::move(candidate);
+        p.primary[id] = c;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      reason = "no core can schedule task '" + ts[id].name +
+               "' on top of its first-fit load";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Placement FirstFitDecreasing::place(const sched::TaskSet& ts,
+                                    std::size_t cores) const {
+  RTFT_EXPECTS(cores >= 1, "placement needs at least one core");
+  Placement p;
+  p.primary.assign(ts.size(), kNoCore);
+  p.backup.assign(ts.size(), kNoCore);
+  if (!place_primaries(ts, cores, p, p.reason)) return p;
+  if (cores > 1) {
+    // The naive baseline: next core in index order, no capacity check.
+    for (sched::TaskId id = 0; id < ts.size(); ++id) {
+      p.backup[id] = (p.primary[id] + 1) % cores;
+    }
+  }
+  p.feasible = true;
+  return p;
+}
+
+Placement FaultAware::place(const sched::TaskSet& ts,
+                            std::size_t cores) const {
+  RTFT_EXPECTS(cores >= 1, "placement needs at least one core");
+  Placement p;
+  p.primary.assign(ts.size(), kNoCore);
+  p.backup.assign(ts.size(), kNoCore);
+  if (!place_primaries(ts, cores, p, p.reason)) return p;
+  if (cores == 1) {
+    p.feasible = true;  // no fail-over possible, nothing to reserve.
+    return p;
+  }
+  // Backup admission. Under the single-fault hypothesis, core j only
+  // ever activates the backups whose primary lives on the one failed
+  // core f — so each (f, j) group is admitted independently: RTA over
+  // j's primaries plus the group plus the candidate. Primaries are
+  // final by now and groups only grow, so checking the last-added
+  // state covers the final configuration.
+  std::vector<std::vector<sched::TaskId>> primaries_on(cores);
+  for (sched::TaskId id = 0; id < ts.size(); ++id) {
+    primaries_on[p.primary[id]].push_back(id);
+  }
+  // groups[f][j] = backups placed on j whose primary is on f.
+  std::vector<std::vector<std::vector<sched::TaskId>>> groups(
+      cores, std::vector<std::vector<sched::TaskId>>(cores));
+  for (const sched::TaskId id : by_utilization_desc(ts)) {
+    const std::size_t f = p.primary[id];
+    bool placed = false;
+    for (std::size_t j = 0; j < cores && !placed; ++j) {
+      if (j == f) continue;  // never co-located with its own primary.
+      std::vector<sched::TaskId> candidate = primaries_on[j];
+      candidate.insert(candidate.end(), groups[f][j].begin(),
+                       groups[f][j].end());
+      candidate.push_back(id);
+      if (sched::is_feasible(subset(ts, candidate))) {
+        groups[f][j].push_back(id);
+        p.backup[id] = j;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      p.reason = "no core can absorb the backup of task '" + ts[id].name +
+                 "' when core " + std::to_string(f) + " fails";
+      return p;
+    }
+  }
+  p.feasible = true;
+  return p;
+}
+
+bool survives_any_single_fault(const sched::TaskSet& ts,
+                               const Placement& placement,
+                               std::size_t cores) {
+  RTFT_EXPECTS(placement.primary.size() == ts.size() &&
+                   placement.backup.size() == ts.size(),
+               "placement must cover the task set");
+  if (!placement.feasible) return false;
+  for (std::size_t f = 0; f < cores; ++f) {
+    for (std::size_t j = 0; j < cores; ++j) {
+      if (j == f) continue;
+      std::vector<sched::TaskId> load;
+      for (sched::TaskId id = 0; id < ts.size(); ++id) {
+        if (placement.primary[id] == j) load.push_back(id);
+      }
+      for (sched::TaskId id = 0; id < ts.size(); ++id) {
+        if (placement.primary[id] == f && placement.backup[id] == j) {
+          if (placement.backup[id] == placement.primary[id]) return false;
+          load.push_back(id);
+        }
+      }
+      if (!sched::is_feasible(subset(ts, load))) return false;
+    }
+  }
+  // Every task must actually have a backup for fail-over to exist.
+  for (sched::TaskId id = 0; id < ts.size(); ++id) {
+    if (cores > 1 && placement.backup[id] == kNoCore) return false;
+  }
+  return true;
+}
+
+std::vector<double> primary_utilization(const sched::TaskSet& ts,
+                                        const Placement& placement,
+                                        std::size_t cores) {
+  RTFT_EXPECTS(placement.primary.size() == ts.size(),
+               "placement must cover the task set");
+  std::vector<double> u(cores, 0.0);
+  for (sched::TaskId id = 0; id < ts.size(); ++id) {
+    const std::size_t c = placement.primary[id];
+    if (c != kNoCore && c < cores) u[c] += ts[id].utilization();
+  }
+  return u;
+}
+
+}  // namespace rtft::multicore

@@ -137,6 +137,38 @@ bool apply_sweep_flag(std::string_view arg,
           static_cast<std::int64_t>(parse_u64("--stop-latency-us", p, 0,
                                               kMaxUs))));
     }
+  } else if (arg == "--cores") {
+    const std::string v = value();
+    opts.grid.core_counts.clear();
+    for (const std::string_view p : split(v, ',')) {
+      opts.grid.core_counts.push_back(
+          static_cast<std::size_t>(parse_u64("--cores", p, 1, 64)));
+    }
+  } else if (arg == "--quantum-us") {
+    const std::string v = value();
+    opts.grid.quantizer_resolutions.clear();
+    for (const std::string_view p : split(v, ',')) {
+      opts.grid.quantizer_resolutions.push_back(Duration::us(
+          static_cast<std::int64_t>(parse_u64("--quantum-us", p, 1, kMaxUs))));
+    }
+  } else if (arg == "--partitioner") {
+    const std::string v = value();
+    try {
+      opts.partitioner = partitioner_mode_from_string(v);
+    } catch (const std::exception&) {
+      bad_value("--partitioner", v,
+                "expects 'both', 'first-fit' or 'fault-aware'");
+    }
+  } else if (arg == "--core-fault") {
+    const std::string v = value();
+    double fraction = 0.0;
+    if (!parse_double(v, fraction) || !std::isfinite(fraction) ||
+        fraction < 0.0 || fraction > 1.0) {
+      bad_value("--core-fault", v,
+                "expects a horizon fraction in [0, 1] (0 disables the "
+                "fault)");
+    }
+    opts.core_fault_fraction = fraction;
   } else if (arg == "--policy") {
     const std::string v = value();
     try {
@@ -217,6 +249,11 @@ std::vector<std::string> worker_argv(const std::string& runner,
                  "the runner CLI expresses stop latencies in whole "
                  "microseconds");
   }
+  for (const Duration q : opts.grid.quantizer_resolutions) {
+    RTFT_EXPECTS(q.count() % 1000 == 0,
+                 "the runner CLI expresses quantizer resolutions in whole "
+                 "microseconds");
+  }
 
   std::vector<std::string> argv;
   argv.reserve(32);
@@ -244,6 +281,22 @@ std::vector<std::string> worker_argv(const std::string& runner,
                  [](std::string& out, Duration l) {
                    out += std::to_string(l.count() / 1000);
                  });
+  push_list_flag(argv, "--cores", opts.grid.core_counts,
+                 [](std::string& out, std::size_t m) {
+                   out += std::to_string(m);
+                 });
+  push_list_flag(argv, "--quantum-us", opts.grid.quantizer_resolutions,
+                 [](std::string& out, Duration q) {
+                   out += std::to_string(q.count() / 1000);
+                 });
+  argv.emplace_back("--partitioner");
+  argv.emplace_back(to_string(opts.partitioner));
+  argv.emplace_back("--core-fault");
+  {
+    std::string fraction;
+    detail::append_double(fraction, opts.core_fault_fraction);
+    argv.push_back(std::move(fraction));
+  }
   argv.emplace_back("--policy");
   argv.emplace_back(core::to_string(opts.detector_policy));
   argv.emplace_back("--event-queue");

@@ -61,7 +61,8 @@ struct ShardRequest {
 [[nodiscard]] ShardRequest parse_shard_request(std::string_view value);
 
 /// Applies one sweep-defining flag (--scenarios, --workers, --seed,
-/// --tasks, --util, --detector-cost-us, --stop-latency-us, --policy,
+/// --tasks, --util, --detector-cost-us, --stop-latency-us, --cores,
+/// --quantum-us, --partitioner, --core-fault, --policy,
 /// --event-queue, --sink-mode, --cost-spec, --horizon-periods,
 /// --full-traces) to `opts`. Returns
 /// false when `arg` is none of these — the caller handles its own

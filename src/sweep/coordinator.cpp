@@ -277,7 +277,7 @@ bool Coordinator::adopt_shard_file(ShardTask& task, bool resumed) {
           "the file belongs to a different sweep or a different "
           "partition of it");
     }
-    task.result = std::move(loaded);
+    merger_.add(std::move(loaded));
     task.state = State::kDone;
     done_scenarios_ += task.spec.count();
     if (resumed) ++stats_.resumed;
@@ -393,7 +393,12 @@ CoordinatorResult Coordinator::run() {
   // trailing empty ranges; no worker needed for zero scenarios).
   for (ShardTask& task : tasks_) {
     if (task.spec.count() == 0) {
-      task.result = run_shard(task.spec, plan_.options());
+      ShardResult empty = run_shard(task.spec, plan_.options());
+      // Match what every loaded file carries (load_shard_json forces
+      // keep_verdicts on), so the merged report's options cannot depend
+      // on whether an empty shard happened to fold first.
+      empty.options.keep_verdicts = true;
+      merger_.add(std::move(empty));
       task.state = State::kDone;
       continue;
     }
@@ -437,15 +442,12 @@ CoordinatorResult Coordinator::run() {
     check_stragglers();
   }
 
-  std::vector<ShardResult> shards;
-  shards.reserve(tasks_.size());
-  for (ShardTask& task : tasks_) {
+  for (const ShardTask& task : tasks_) {
     RTFT_ASSERT(task.state == State::kDone,
                 "coordinator loop exited with unfinished shards");
-    shards.push_back(std::move(task.result));
   }
   CoordinatorResult out;
-  out.report = merge(std::move(shards));
+  out.report = merger_.finish();
   out.stats = stats_;
   return out;
 }

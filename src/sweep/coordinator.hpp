@@ -211,7 +211,6 @@ class Coordinator {
     Duration started;           ///< transport time of the live attempt.
     std::uint64_t live_done = 0;  ///< progress of the live attempt.
     bool kill_sent = false;     ///< straggler kill already requested.
-    ShardResult result;         ///< valid when kDone.
   };
 
   void log(const std::string& line);
@@ -233,6 +232,10 @@ class Coordinator {
   std::vector<Duration> completed_elapsed_;  ///< straggler median input.
   CoordinatorStats stats_;
   std::uint64_t done_scenarios_ = 0;  ///< over kDone shards only.
+  /// Folds each shard the moment its file validates, so the run never
+  /// holds the whole ShardResult list — only out-of-order completions
+  /// wait (buffered inside the merger) for their predecessor range.
+  ShardMerger merger_;
 };
 
 }  // namespace rtft::sweep

@@ -88,16 +88,19 @@ void append_aggregate_json(std::string& out, const SweepAggregate& a) {
           ",\"engine_clean\":%" PRIu64 ",\"agreement_violations\":%" PRIu64
           ",\"allowance_feasible\":%" PRIu64 ",\"allowance_honored\":%" PRIu64
           ",\"detector_clean\":%" PRIu64 ",\"allowance_sum_ns\":%" PRId64
-          ",\"mean_allowance_ms\":",
+          ",\"multicore\":%" PRIu64 ",\"ff_placed\":%" PRIu64
+          ",\"fa_placed\":%" PRIu64 ",\"ff_failover_clean\":%" PRIu64
+          ",\"fa_failover_clean\":%" PRIu64 ",\"mean_allowance_ms\":",
           a.total, a.rta_schedulable, a.engine_clean, a.agreement_violations,
           a.allowance_feasible, a.allowance_honored, a.detector_clean,
-          a.allowance_sum.count());
+          a.allowance_sum.count(), a.multicore, a.ff_placed, a.fa_placed,
+          a.ff_failover_clean, a.fa_failover_clean);
   append_double(out, a.mean_allowance_ms());
   out += '}';
 }
 
 /// The one verdict-object serialization, shared by report_json and the
-/// shard writer: two hand-maintained copies of a 17-field format string
+/// shard writer: two hand-maintained copies of a 27-field format string
 /// would drift apart silently.
 void append_verdict_json(std::string& out, const ScenarioVerdict& v) {
   appendf(out, "{\"index\":%" PRIu64 ",\"seed\":\"", v.index);
@@ -112,7 +115,7 @@ void append_verdict_json(std::string& out, const ScenarioVerdict& v) {
           ",\"rta_schedulable\":%s,\"engine_clean\":%s,\"nominal_misses\":%"
           PRId64 ",\"agreement\":%s,\"allowance_feasible\":%s,\"allowance_ns\""
           ":%" PRId64 ",\"allowance_honored\":%s,\"detector_clean\":%s,"
-          "\"detector_faults\":%" PRId64 "}",
+          "\"detector_faults\":%" PRId64,
           v.detector_cost.count(), v.stop_poll_latency.count(),
           v.rta_schedulable ? "true" : "false",
           v.engine_clean ? "true" : "false", v.nominal_misses,
@@ -120,6 +123,18 @@ void append_verdict_json(std::string& out, const ScenarioVerdict& v) {
           v.allowance_feasible ? "true" : "false", v.allowance.count(),
           v.allowance_honored ? "true" : "false",
           v.detector_clean ? "true" : "false", v.detector_faults);
+  appendf(out,
+          ",\"cores\":%zu,\"quantum_ns\":%" PRId64
+          ",\"ff_placement_feasible\":%s,\"fa_placement_feasible\":%s"
+          ",\"ff_failover_clean\":%s,\"fa_failover_clean\":%s"
+          ",\"ff_missed_tasks\":%" PRId64 ",\"fa_missed_tasks\":%" PRId64
+          ",\"ff_lost_jobs\":%" PRId64 ",\"fa_lost_jobs\":%" PRId64 "}",
+          v.cores, v.quantum.count(),
+          v.ff_placement_feasible ? "true" : "false",
+          v.fa_placement_feasible ? "true" : "false",
+          v.ff_failover_clean ? "true" : "false",
+          v.fa_failover_clean ? "true" : "false", v.ff_missed_tasks,
+          v.fa_missed_tasks, v.ff_lost_jobs, v.fa_lost_jobs);
 }
 
 }  // namespace
@@ -130,7 +145,10 @@ std::string verdicts_csv(const SweepReport& report) {
       "detector_cost_ns,stop_poll_latency_ns,rta_schedulable,engine_clean,"
       "nominal_misses,"
       "agreement,allowance_feasible,allowance_ns,allowance_honored,"
-      "detector_clean,detector_faults\n";
+      "detector_clean,detector_faults,cores,quantum_ns,"
+      "ff_placement_feasible,fa_placement_feasible,ff_failover_clean,"
+      "fa_failover_clean,ff_missed_tasks,fa_missed_tasks,ff_lost_jobs,"
+      "fa_lost_jobs\n";
   for (const ScenarioVerdict& v : report.verdicts) {
     appendf(out, "%" PRIu64 ",", v.index);
     append_hex(out, v.seed);
@@ -140,34 +158,45 @@ std::string verdicts_csv(const SweepReport& report) {
     append_double(out, v.actual_utilization);
     appendf(out,
             ",%" PRId64 ",%" PRId64 ",%s,%s,%" PRId64 ",%s,%s,%" PRId64
-            ",%s,%s,%" PRId64 "\n",
+            ",%s,%s,%" PRId64,
             v.detector_cost.count(), v.stop_poll_latency.count(),
             b(v.rta_schedulable), b(v.engine_clean),
             v.nominal_misses, b(v.agreement), b(v.allowance_feasible),
             v.allowance.count(), b(v.allowance_honored), b(v.detector_clean),
             v.detector_faults);
+    appendf(out,
+            ",%zu,%" PRId64 ",%s,%s,%s,%s,%" PRId64 ",%" PRId64 ",%" PRId64
+            ",%" PRId64 "\n",
+            v.cores, v.quantum.count(), b(v.ff_placement_feasible),
+            b(v.fa_placement_feasible), b(v.ff_failover_clean),
+            b(v.fa_failover_clean), v.ff_missed_tasks, v.fa_missed_tasks,
+            v.ff_lost_jobs, v.fa_lost_jobs);
   }
   return out;
 }
 
 std::string cells_csv(const SweepReport& report) {
   std::string out =
-      "cell,tasks,utilization,detector_cost_ns,stop_poll_latency_ns,total,"
+      "cell,tasks,utilization,detector_cost_ns,stop_poll_latency_ns,cores,"
+      "quantum_ns,total,"
       "rta_schedulable,"
       "engine_clean,agreement_violations,allowance_feasible,"
-      "allowance_honored,detector_clean,mean_allowance_ms\n";
+      "allowance_honored,detector_clean,multicore,ff_placed,fa_placed,"
+      "ff_failover_clean,fa_failover_clean,mean_allowance_ms\n";
   for (std::size_t c = 0; c < report.cells.size(); ++c) {
     const CellSummary& cell = report.cells[c];
     const SweepAggregate& a = cell.agg;
     appendf(out, "%zu,%zu,", c, cell.task_count);
     append_double(out, cell.utilization);
     appendf(out,
-            ",%" PRId64 ",%" PRId64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
-            ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",",
+            ",%" PRId64 ",%" PRId64 ",%zu,%" PRId64 ",%" PRIu64 ",%" PRIu64
+            ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+            ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",",
             cell.detector_cost.count(), cell.stop_poll_latency.count(),
-            a.total, a.rta_schedulable,
+            cell.cores, cell.quantum.count(), a.total, a.rta_schedulable,
             a.engine_clean, a.agreement_violations, a.allowance_feasible,
-            a.allowance_honored, a.detector_clean);
+            a.allowance_honored, a.detector_clean, a.multicore, a.ff_placed,
+            a.fa_placed, a.ff_failover_clean, a.fa_failover_clean);
     append_double(out, a.mean_allowance_ms());
     out += '\n';
   }
@@ -184,10 +213,15 @@ std::string report_json(const SweepReport& report) {
   appendf(out,
           "\",\"horizon_periods\":%" PRId64
           ",\"allowance_granularity_ns\":%" PRId64
-          ",\"keep_verdicts\":%s,\"full_traces\":%s},\n",
+          ",\"keep_verdicts\":%s,\"full_traces\":%s,\"partitioner\":\"%.*s\""
+          ",\"core_fault_fraction\":",
           o.horizon_periods, o.allowance_granularity.count(),
           o.keep_verdicts ? "true" : "false",
-          o.full_traces ? "true" : "false");
+          o.full_traces ? "true" : "false",
+          static_cast<int>(to_string(o.partitioner).size()),
+          to_string(o.partitioner).data());
+  append_double(out, o.core_fault_fraction);
+  out += "},\n";
   out += "  \"totals\": ";
   append_aggregate_json(out, report.totals);
   out += ",\n  \"cells\": [";
@@ -199,8 +233,10 @@ std::string report_json(const SweepReport& report) {
     append_double(out, cell.utilization);
     appendf(out,
             ",\"detector_cost_ns\":%" PRId64
-            ",\"stop_poll_latency_ns\":%" PRId64 ",\"aggregate\":",
-            cell.detector_cost.count(), cell.stop_poll_latency.count());
+            ",\"stop_poll_latency_ns\":%" PRId64 ",\"cores\":%zu"
+            ",\"quantum_ns\":%" PRId64 ",\"aggregate\":",
+            cell.detector_cost.count(), cell.stop_poll_latency.count(),
+            cell.cores, cell.quantum.count());
     append_aggregate_json(out, cell.agg);
     out += '}';
   }
@@ -244,6 +280,15 @@ void append_grid_json(std::string& out, const SweepGrid& g) {
     appendf(out, "%s%" PRId64, i > 0 ? "," : "",
             g.stop_poll_latencies[i].count());
   }
+  out += "],\"core_counts\":[";
+  for (std::size_t i = 0; i < g.core_counts.size(); ++i) {
+    appendf(out, "%s%zu", i > 0 ? "," : "", g.core_counts[i]);
+  }
+  out += "],\"quantizer_resolution_ns\":[";
+  for (std::size_t i = 0; i < g.quantizer_resolutions.size(); ++i) {
+    appendf(out, "%s%" PRId64, i > 0 ? "," : "",
+            g.quantizer_resolutions[i].count());
+  }
   out += "],\"deadline_min_factor\":";
   append_double(out, g.deadline_min_factor);
   out += ",\"deadline_max_factor\":";
@@ -267,10 +312,14 @@ std::string shard_json(const ShardResult& shard) {
   appendf(out,
           "\",\"workers\":%zu,\"horizon_periods\":%" PRId64
           ",\"allowance_granularity_ns\":%" PRId64 ",\"detector_policy\":"
-          "\"%.*s\",\"grid\":",
+          "\"%.*s\",\"partitioner\":\"%.*s\",\"core_fault_fraction\":",
           o.workers, o.horizon_periods, o.allowance_granularity.count(),
           static_cast<int>(to_string(o.detector_policy).size()),
-          to_string(o.detector_policy).data());
+          to_string(o.detector_policy).data(),
+          static_cast<int>(to_string(o.partitioner).size()),
+          to_string(o.partitioner).data());
+  append_double(out, o.core_fault_fraction);
+  out += ",\"grid\":";
   append_grid_json(out, o.grid);
   out += "},\n  \"shard\": ";
   appendf(out,
@@ -289,8 +338,10 @@ std::string shard_json(const ShardResult& shard) {
     append_double(out, cell.utilization);
     appendf(out,
             ",\"detector_cost_ns\":%" PRId64
-            ",\"stop_poll_latency_ns\":%" PRId64 ",\"aggregate\":",
-            cell.detector_cost.count(), cell.stop_poll_latency.count());
+            ",\"stop_poll_latency_ns\":%" PRId64 ",\"cores\":%zu"
+            ",\"quantum_ns\":%" PRId64 ",\"aggregate\":",
+            cell.detector_cost.count(), cell.stop_poll_latency.count(),
+            cell.cores, cell.quantum.count());
     append_aggregate_json(out, cell.agg);
     out += '}';
   }
@@ -586,6 +637,13 @@ SweepAggregate read_aggregate(const JsonValue& v) {
   a.allowance_honored =
       as_u64(member(v, "allowance_honored"), "allowance_honored");
   a.detector_clean = as_u64(member(v, "detector_clean"), "detector_clean");
+  a.multicore = as_u64(member(v, "multicore"), "multicore");
+  a.ff_placed = as_u64(member(v, "ff_placed"), "ff_placed");
+  a.fa_placed = as_u64(member(v, "fa_placed"), "fa_placed");
+  a.ff_failover_clean =
+      as_u64(member(v, "ff_failover_clean"), "ff_failover_clean");
+  a.fa_failover_clean =
+      as_u64(member(v, "fa_failover_clean"), "fa_failover_clean");
   a.allowance_sum =
       Duration::ns(as_i64(member(v, "allowance_sum_ns"), "allowance_sum_ns"));
   return a;
@@ -598,6 +656,10 @@ bool aggregates_equal(const SweepAggregate& a, const SweepAggregate& b) {
          a.allowance_feasible == b.allowance_feasible &&
          a.allowance_honored == b.allowance_honored &&
          a.detector_clean == b.detector_clean &&
+         a.multicore == b.multicore && a.ff_placed == b.ff_placed &&
+         a.fa_placed == b.fa_placed &&
+         a.ff_failover_clean == b.ff_failover_clean &&
+         a.fa_failover_clean == b.fa_failover_clean &&
          a.allowance_sum == b.allowance_sum;
 }
 
@@ -628,6 +690,20 @@ ScenarioVerdict read_verdict(const JsonValue& jv) {
       as_bool(member(jv, "allowance_honored"), "allowance_honored");
   v.detector_clean = as_bool(member(jv, "detector_clean"), "detector_clean");
   v.detector_faults = as_i64(member(jv, "detector_faults"), "detector_faults");
+  v.cores = static_cast<std::size_t>(as_u64(member(jv, "cores"), "cores"));
+  v.quantum = Duration::ns(as_i64(member(jv, "quantum_ns"), "quantum_ns"));
+  v.ff_placement_feasible =
+      as_bool(member(jv, "ff_placement_feasible"), "ff_placement_feasible");
+  v.fa_placement_feasible =
+      as_bool(member(jv, "fa_placement_feasible"), "fa_placement_feasible");
+  v.ff_failover_clean =
+      as_bool(member(jv, "ff_failover_clean"), "ff_failover_clean");
+  v.fa_failover_clean =
+      as_bool(member(jv, "fa_failover_clean"), "fa_failover_clean");
+  v.ff_missed_tasks = as_i64(member(jv, "ff_missed_tasks"), "ff_missed_tasks");
+  v.fa_missed_tasks = as_i64(member(jv, "fa_missed_tasks"), "fa_missed_tasks");
+  v.ff_lost_jobs = as_i64(member(jv, "ff_lost_jobs"), "ff_lost_jobs");
+  v.fa_lost_jobs = as_i64(member(jv, "fa_lost_jobs"), "fa_lost_jobs");
   return v;
 }
 
@@ -665,6 +741,14 @@ ShardResult load_shard_json(std::string_view json) {
   } catch (const ContractViolation&) {
     throw ShardError("unknown detector_policy name");
   }
+  try {
+    o.partitioner = partitioner_mode_from_string(
+        as_string(member(jo, "partitioner"), "partitioner"));
+  } catch (const ContractViolation&) {
+    throw ShardError("unknown partitioner name");
+  }
+  o.core_fault_fraction =
+      as_double(member(jo, "core_fault_fraction"), "core_fault_fraction");
   const JsonValue& jg = member(jo, "grid");
   SweepGrid& g = o.grid;
   g.task_counts.clear();
@@ -688,6 +772,18 @@ ShardResult load_shard_json(std::string_view json) {
                                      "stop_poll_latency_ns")) {
     g.stop_poll_latencies.push_back(
         Duration::ns(as_i64(l, "stop_poll_latency_ns")));
+  }
+  g.core_counts.clear();
+  for (const JsonValue& m : as_array(member(jg, "core_counts"),
+                                     "core_counts")) {
+    g.core_counts.push_back(static_cast<std::size_t>(as_u64(m,
+                                                            "core_counts")));
+  }
+  g.quantizer_resolutions.clear();
+  for (const JsonValue& q : as_array(member(jg, "quantizer_resolution_ns"),
+                                     "quantizer_resolution_ns")) {
+    g.quantizer_resolutions.push_back(
+        Duration::ns(as_i64(q, "quantizer_resolution_ns")));
   }
   g.deadline_min_factor =
       as_double(member(jg, "deadline_min_factor"), "deadline_min_factor");

@@ -11,7 +11,7 @@
 // Plus the shard interchange format that lets the partition/run/merge
 // triad cross process and host boundaries:
 //
-//   shard_json      — one ShardResult as a versioned ("rtft-shard" v1)
+//   shard_json      — one ShardResult as a versioned ("rtft-shard" v2)
 //                     JSON document: the producing options and grid, the
 //                     index range, per-cell aggregates, every verdict
 //                     (the shard's fingerprint contribution — FNV-1a
@@ -52,7 +52,10 @@ namespace rtft::sweep {
 /// the document's structure or field semantics; the loader rejects
 /// everything it was not written to understand.
 inline constexpr std::string_view kShardFormatName = "rtft-shard";
-inline constexpr std::int64_t kShardFormatVersion = 1;
+/// v2 added the multicore axes (core_counts, quantizer_resolution_ns,
+/// partitioner, core_fault_fraction) and the ff_*/fa_* verdict and
+/// aggregate fields.
+inline constexpr std::int64_t kShardFormatVersion = 2;
 
 /// One ShardResult as a self-contained, versioned JSON document.
 [[nodiscard]] std::string shard_json(const ShardResult& shard);

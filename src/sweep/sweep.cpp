@@ -77,6 +77,42 @@ void Fingerprint::add(const ScenarioVerdict& v) {
   if (!v.stop_poll_latency.is_zero()) {
     fnv_mix(h, static_cast<std::uint64_t>(v.stop_poll_latency.count()));
   }
+  // Same rule for the quantizer and multicore axes (they postdate both
+  // pins, 3de9f44828016e12 and 29f191207d7f83cd): the defaults — 1 ms
+  // resolution, one core — contribute nothing.
+  if (v.quantum != Duration::ms(1)) {
+    fnv_mix(h, static_cast<std::uint64_t>(v.quantum.count()));
+  }
+  if (v.cores > 1) {
+    fnv_mix(h, v.cores);
+    const std::uint64_t mc_flags = (v.ff_placement_feasible ? 1u : 0u) |
+                                   (v.fa_placement_feasible ? 2u : 0u) |
+                                   (v.ff_failover_clean ? 4u : 0u) |
+                                   (v.fa_failover_clean ? 8u : 0u);
+    fnv_mix(h, mc_flags);
+    fnv_mix(h, static_cast<std::uint64_t>(v.ff_missed_tasks));
+    fnv_mix(h, static_cast<std::uint64_t>(v.fa_missed_tasks));
+    fnv_mix(h, static_cast<std::uint64_t>(v.ff_lost_jobs));
+    fnv_mix(h, static_cast<std::uint64_t>(v.fa_lost_jobs));
+  }
+}
+
+std::string_view to_string(PartitionerMode mode) {
+  switch (mode) {
+    case PartitionerMode::kBoth: return "both";
+    case PartitionerMode::kFirstFit: return "first-fit";
+    case PartitionerMode::kFaultAware: return "fault-aware";
+  }
+  RTFT_ASSERT(false, "unknown partitioner mode");
+  return "both";
+}
+
+PartitionerMode partitioner_mode_from_string(std::string_view name) {
+  if (name == "both") return PartitionerMode::kBoth;
+  if (name == "first-fit") return PartitionerMode::kFirstFit;
+  if (name == "fault-aware") return PartitionerMode::kFaultAware;
+  RTFT_EXPECTS(false, "unknown partitioner mode name");
+  return PartitionerMode::kBoth;
 }
 
 // ---------------------------------------------------------------------------
@@ -94,6 +130,13 @@ void SweepAggregate::add(const ScenarioVerdict& v) {
     if (v.allowance_honored) ++allowance_honored;
   }
   if (v.detector_clean) ++detector_clean;
+  if (v.cores > 1) {
+    ++multicore;
+    if (v.ff_placement_feasible) ++ff_placed;
+    if (v.fa_placement_feasible) ++fa_placed;
+    if (v.ff_failover_clean) ++ff_failover_clean;
+    if (v.fa_failover_clean) ++fa_failover_clean;
+  }
 }
 
 void SweepAggregate::merge(const SweepAggregate& other) {
@@ -105,6 +148,11 @@ void SweepAggregate::merge(const SweepAggregate& other) {
   allowance_honored += other.allowance_honored;
   detector_clean += other.detector_clean;
   allowance_sum += other.allowance_sum;
+  multicore += other.multicore;
+  ff_placed += other.ff_placed;
+  fa_placed += other.fa_placed;
+  ff_failover_clean += other.ff_failover_clean;
+  fa_failover_clean += other.fa_failover_clean;
 }
 
 double SweepAggregate::mean_allowance_ms() const {
@@ -123,16 +171,21 @@ ScenarioSpec scenario_spec(const SweepOptions& opts, std::uint64_t index) {
   const std::size_t cell = static_cast<std::size_t>(index % cells);
 
   // Flat cell -> (task_count, utilization, detector_cost, stop
-  // latency); stop latency varies fastest, task count slowest. With the
-  // default single-zero latency axis the mapping is identical to the
-  // historical three-axis grid.
+  // latency, cores, quantum); the quantizer resolution varies fastest,
+  // then cores, then stop latency, ..., task count slowest. With the
+  // default single-value core and quantum axes the mapping is
+  // identical to the historical grids (three-axis and four-axis).
+  const std::size_t q_n = g.quantizer_resolutions.size();
+  const std::size_t m_n = g.core_counts.size();
   const std::size_t s_n = g.stop_poll_latencies.size();
   const std::size_t d_n = g.detector_costs.size();
   const std::size_t u_n = g.utilizations.size();
-  const std::size_t s_i = cell % s_n;
-  const std::size_t d_i = (cell / s_n) % d_n;
-  const std::size_t u_i = (cell / (s_n * d_n)) % u_n;
-  const std::size_t t_i = cell / (s_n * d_n * u_n);
+  const std::size_t q_i = cell % q_n;
+  const std::size_t m_i = (cell / q_n) % m_n;
+  const std::size_t s_i = (cell / (q_n * m_n)) % s_n;
+  const std::size_t d_i = (cell / (q_n * m_n * s_n)) % d_n;
+  const std::size_t u_i = (cell / (q_n * m_n * s_n * d_n)) % u_n;
+  const std::size_t t_i = cell / (q_n * m_n * s_n * d_n * u_n);
 
   ScenarioSpec spec;
   spec.index = index;
@@ -146,6 +199,8 @@ ScenarioSpec scenario_spec(const SweepOptions& opts, std::uint64_t index) {
   spec.tasks.deadline_max_factor = g.deadline_max_factor;
   spec.detector_cost = g.detector_costs[d_i];
   spec.stop_poll_latency = g.stop_poll_latencies[s_i];
+  spec.cores = g.core_counts[m_i];
+  spec.quantum = g.quantizer_resolutions[q_i];
   return spec;
 }
 
@@ -159,6 +214,8 @@ void fill_cell_metadata(const SweepOptions& opts,
     cells[c].utilization = spec.tasks.total_utilization;
     cells[c].detector_cost = spec.detector_cost;
     cells[c].stop_poll_latency = spec.stop_poll_latency;
+    cells[c].cores = spec.cores;
+    cells[c].quantum = spec.quantum;
   }
 }
 
@@ -196,6 +253,15 @@ ScenarioRunner::ScenarioRunner(const SweepOptions& opts)
   }
   engine_.reserve(max_tasks, 4 * max_tasks + 16);
   handles_.reserve(max_tasks);
+  // Multicore cells reuse a pooled fleet the same way; a historical
+  // single-core grid never pays for it.
+  std::size_t max_cores = 1;
+  for (const std::size_t m : opts.grid.core_counts) {
+    max_cores = std::max(max_cores, m);
+  }
+  if (max_cores > 1) {
+    fleet_.reserve(max_cores, max_tasks, 4 * max_tasks + 16);
+  }
 }
 
 void ScenarioRunner::arm(const sched::TaskSet& ts, Duration horizon,
@@ -266,6 +332,8 @@ ScenarioVerdict ScenarioRunner::run(const ScenarioSpec& spec) {
   v.actual_utilization = ts.utilization();
   v.detector_cost = spec.detector_cost;
   v.stop_poll_latency = spec.stop_poll_latency;
+  v.cores = spec.cores;
+  v.quantum = spec.quantum;
 
   // 1. Analysis.
   v.rta_schedulable = sched::is_feasible(ts);
@@ -312,7 +380,13 @@ ScenarioVerdict ScenarioRunner::run(const ScenarioSpec& spec) {
   std::optional<core::DetectorBank> bank;
   if (plan.detects) {
     core::DetectorConfig dcfg;
-    dcfg.quantizer = rt::Quantizer{Duration::ms(1), rt::Rounding::kNone};
+    // The default 1 ms resolution keeps the historical exact-threshold
+    // behaviour (kNone ignores the resolution); a swept non-default
+    // resolution arms the paper's round-to-nearest jRate grid (§6.2).
+    dcfg.quantizer =
+        spec.quantum == Duration::ms(1)
+            ? rt::Quantizer{Duration::ms(1), rt::Rounding::kNone}
+            : rt::Quantizer{spec.quantum, rt::Rounding::kNearest};
     dcfg.fire_cost = spec.detector_cost;
     core::DetectorBank::FaultHandler handler;
     if (plan.stops) {
@@ -326,7 +400,69 @@ ScenarioVerdict ScenarioRunner::run(const ScenarioSpec& spec) {
   engine_.run();
   v.detector_clean = total_misses() == 0;
   v.detector_faults = bank ? bank->total_faults() : 0;
+
+  // 5. Multicore stage: partitioned placement plus mid-run core
+  //    fail-over (ROADMAP 4(b)). Only cells that sweep cores > 1 pay
+  //    for it; single-core cells keep the historical verdict exactly.
+  if (spec.cores > 1) run_multicore(spec, ts, horizon, v);
   return v;
+}
+
+void ScenarioRunner::run_multicore(const ScenarioSpec& spec,
+                                   const sched::TaskSet& ts,
+                                   Duration horizon, ScenarioVerdict& v) {
+  // Engine statistics are the only verdict source here, so the stage
+  // runs sink-free (kStaticNull) whatever the sweep's dispatch mode —
+  // the sink/cost-mode fingerprint equivalence holds by construction.
+  rt::EngineOptions eopts;
+  eopts.horizon = Instant::epoch() + horizon;
+  eopts.event_queue = opts_.event_queue;
+  eopts.sink_mode = trace::SinkMode::kStaticNull;
+
+  // Deterministic fault date: a fixed fraction of the horizon. The
+  // double product is exact IEEE arithmetic on integral inputs, so
+  // every platform computes the same instant.
+  const Duration fault_after = Duration::ns(static_cast<std::int64_t>(
+      opts_.core_fault_fraction * static_cast<double>(horizon.count())));
+
+  const auto run_one = [&](const multicore::Partitioner& strategy,
+                           bool& placed, bool& clean,
+                           std::int64_t& missed_tasks,
+                           std::int64_t& lost_jobs) {
+    const multicore::Placement placement = strategy.place(ts, spec.cores);
+    placed = placement.feasible;
+    if (!placement.feasible) return;
+    fleet_.reset(spec.cores, eopts);
+    fleet_.add_placed(ts, placement);
+    multicore::CoreFaultPlan fault;
+    if (fault_after.is_positive() &&
+        fault_after < horizon) {  // 0 and >= horizon disable the fault.
+      // Kill the busiest core: highest primary utilization, ties to
+      // the lowest index — the worst single failure the placement can
+      // suffer under the single-fault hypothesis.
+      const std::vector<double> load =
+          multicore::primary_utilization(ts, placement, spec.cores);
+      std::size_t victim = 0;
+      for (std::size_t c = 1; c < load.size(); ++c) {
+        if (load[c] > load[victim]) victim = c;
+      }
+      fault.core = victim;
+      fault.at = Instant::epoch() + fault_after;
+    }
+    const multicore::MultiRunReport report = fleet_.run_with_fault(fault);
+    clean = report.failover_clean;
+    missed_tasks = report.missed_tasks;
+    lost_jobs = report.total_lost_jobs;
+  };
+
+  if (opts_.partitioner != PartitionerMode::kFaultAware) {
+    run_one(first_fit_, v.ff_placement_feasible, v.ff_failover_clean,
+            v.ff_missed_tasks, v.ff_lost_jobs);
+  }
+  if (opts_.partitioner != PartitionerMode::kFirstFit) {
+    run_one(fault_aware_, v.fa_placement_feasible, v.fa_failover_clean,
+            v.fa_missed_tasks, v.fa_lost_jobs);
+  }
 }
 
 ScenarioVerdict run_scenario(const ScenarioSpec& spec,
@@ -364,6 +500,18 @@ SweepPlan::SweepPlan(const SweepOptions& opts) : opts_(opts) {
                "sweep needs at least one stop-poll latency");
   for (const Duration l : opts.grid.stop_poll_latencies)
     RTFT_EXPECTS(!l.is_negative(), "stop-poll latency must be non-negative");
+  RTFT_EXPECTS(!opts.grid.core_counts.empty(),
+               "sweep needs at least one core count");
+  for (const std::size_t m : opts.grid.core_counts)
+    RTFT_EXPECTS(m >= 1 && m <= 64,
+                 "every swept core count must be in [1, 64]");
+  RTFT_EXPECTS(!opts.grid.quantizer_resolutions.empty(),
+               "sweep needs at least one quantizer resolution");
+  for (const Duration q : opts.grid.quantizer_resolutions)
+    RTFT_EXPECTS(q.is_positive(), "quantizer resolution must be positive");
+  RTFT_EXPECTS(
+      opts.core_fault_fraction >= 0.0 && opts.core_fault_fraction <= 1.0,
+      "the core-fault fraction must lie in [0, 1]");
   RTFT_EXPECTS(opts.grid.min_period.is_positive() &&
                    opts.grid.max_period >= opts.grid.min_period,
                "period range must be positive and ordered");
@@ -501,6 +649,10 @@ bool same_scenario_identity(const SweepOptions& a, const SweepOptions& b) {
          a.grid.utilizations == b.grid.utilizations &&
          a.grid.detector_costs == b.grid.detector_costs &&
          a.grid.stop_poll_latencies == b.grid.stop_poll_latencies &&
+         a.grid.core_counts == b.grid.core_counts &&
+         a.grid.quantizer_resolutions == b.grid.quantizer_resolutions &&
+         a.partitioner == b.partitioner &&
+         a.core_fault_fraction == b.core_fault_fraction &&
          a.grid.deadline_min_factor == b.grid.deadline_min_factor &&
          a.grid.deadline_max_factor == b.grid.deadline_max_factor &&
          a.grid.min_period == b.grid.min_period &&
@@ -628,6 +780,129 @@ SweepReport merge(std::vector<ShardResult>&& shards) {
   input.reserve(shards.size());
   for (ShardResult& s : shards) input.push_back(&s);
   return merge_shards(input, /*take_verdicts=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental merge.
+// ---------------------------------------------------------------------------
+
+void ShardMerger::fold(ShardResult&& shard) {
+  report_.totals.merge(shard.totals);
+  for (std::size_t c = 0; c < report_.cells.size(); ++c) {
+    report_.cells[c].agg.merge(shard.cells[c].agg);
+  }
+  for (const ScenarioVerdict& v : shard.verdicts) fp_.add(v);
+  if (report_.options.keep_verdicts) {
+    report_.verdicts.insert(report_.verdicts.end(),
+                            std::make_move_iterator(shard.verdicts.begin()),
+                            std::make_move_iterator(shard.verdicts.end()));
+  }
+  report_.elapsed_seconds += shard.elapsed_seconds;
+  accepted_scenarios_ += shard.shard.count();
+  // Only non-empty shards advance the frontier: an empty shard is a
+  // no-op wherever its [b, b) marker sits and must not fake coverage.
+  if (shard.shard.count() > 0) expected_begin_ = shard.shard.end;
+}
+
+void ShardMerger::drain_pending() {
+  // Fold every buffered shard the last fold unblocked; folding one may
+  // unblock another, so scan until a full pass makes no progress.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const ShardSpec& s = pending_[i].shard;
+      if (s.begin == expected_begin_) {  // empties are never buffered.
+        ShardResult next = std::move(pending_[i]);
+        pending_.erase(pending_.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+        fold(std::move(next));
+        progressed = true;
+        break;  // indices shifted; restart the scan.
+      }
+    }
+  }
+}
+
+void ShardMerger::add(ShardResult&& shard) {
+  const auto range_of = [](const ShardSpec& s) {
+    return "[" + std::to_string(s.begin) + ", " + std::to_string(s.end) +
+           ")";
+  };
+  // Shape checks first — a malformed shard must not corrupt the fold.
+  if (shard.shard.begin > shard.shard.end ||
+      shard.shard.end > shard.options.scenario_count) {
+    throw ShardError("cannot merge the shard covering " +
+                     range_of(shard.shard) +
+                     ": its range does not lie within the sweep");
+  }
+  if (shard.verdicts.size() != shard.shard.count()) {
+    throw ShardError("cannot merge the shard covering " +
+                     range_of(shard.shard) +
+                     ": verdict count does not match the shard's index "
+                     "range");
+  }
+  if (!have_base_) {
+    report_.options = shard.options;
+    report_.cells.resize(shard.options.grid.cell_count());
+    if (report_.options.keep_verdicts) {
+      report_.verdicts.reserve(report_.options.scenario_count);
+    }
+    have_base_ = true;
+  } else if (!detail::same_scenario_identity(report_.options,
+                                             shard.options)) {
+    throw ShardError("cannot merge the shard covering " +
+                     range_of(shard.shard) +
+                     ": it belongs to a different sweep (seed, grid, "
+                     "policy or scenario count differ)");
+  }
+  if (shard.cells.size() != report_.cells.size()) {
+    throw ShardError("cannot merge the shard covering " +
+                     range_of(shard.shard) +
+                     ": cell count does not match the sweep grid");
+  }
+  if (shard.shard.count() > 0 && shard.shard.begin < expected_begin_) {
+    throw ShardError("cannot merge the shard covering " +
+                     range_of(shard.shard) +
+                     ": it overlaps scenarios already merged (the fold "
+                     "has reached scenario " +
+                     std::to_string(expected_begin_) + ")");
+  }
+  if (shard.shard.begin == expected_begin_ || shard.shard.count() == 0) {
+    fold(std::move(shard));
+    drain_pending();
+  } else {
+    pending_.push_back(std::move(shard));  // a gap precedes it; wait.
+  }
+}
+
+SweepReport ShardMerger::finish() {
+  if (!have_base_) {
+    throw ShardError("cannot merge an empty shard list");
+  }
+  if (!pending_.empty()) {
+    // Name the gap the way the batch merge does: the lowest buffered
+    // range is the first shard the tiling is missing a predecessor of.
+    const ShardResult* lowest = &pending_.front();
+    for (const ShardResult& s : pending_) {
+      if (s.shard.begin < lowest->shard.begin) lowest = &s;
+    }
+    throw ShardError(
+        "shard ranges must tile the index space contiguously: expected "
+        "a shard starting at scenario " +
+        std::to_string(expected_begin_) + ", got [" +
+        std::to_string(lowest->shard.begin) + ", " +
+        std::to_string(lowest->shard.end) + ")");
+  }
+  if (expected_begin_ != report_.options.scenario_count) {
+    throw ShardError(
+        "shards cover only [0, " + std::to_string(expected_begin_) +
+        ") of the sweep's " +
+        std::to_string(report_.options.scenario_count) + " scenarios");
+  }
+  report_.fingerprint = fp_.value();
+  detail::fill_cell_metadata(report_.options, report_.cells);
+  return std::move(report_);
 }
 
 // ---------------------------------------------------------------------------

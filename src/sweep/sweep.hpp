@@ -42,11 +42,13 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/random.hpp"
 #include "common/time.hpp"
 #include "core/treatment.hpp"
+#include "multicore/multi_engine.hpp"
 #include "runtime/engine.hpp"
 #include "sweep/generators.hpp"
 #include "trace/recorder.hpp"
@@ -66,6 +68,18 @@ struct SweepGrid {
   /// a faulty job burn CPU past its stop request. The default single
   /// zero keeps the historical grid shape (and fingerprint) unchanged.
   std::vector<Duration> stop_poll_latencies = {Duration::zero()};
+  /// Core counts for the partitioned-multiprocessor stage (ROADMAP
+  /// 4(b)). Cells with cores > 1 additionally place the task set on a
+  /// per-core engine fleet (first-fit and fault-aware primary/backup
+  /// placement), kill the busiest core mid-run and record the
+  /// fail-over verdicts. The default single 1 keeps the historical
+  /// grid shape (and both pinned fingerprints) unchanged.
+  std::vector<std::size_t> core_counts = {1};
+  /// Detector timer-quantizer resolutions (the paper's §6.2 jRate
+  /// grid as an axis). The default single 1 ms keeps the historical
+  /// exact-threshold behaviour (no rounding); any other resolution
+  /// arms paper-style round-to-nearest on the detector thresholds.
+  std::vector<Duration> quantizer_resolutions = {Duration::ms(1)};
   /// Deadline = period * factor drawn uniformly from this range
   /// (<= 1: constrained deadlines, the paper's setting).
   double deadline_min_factor = 0.8;
@@ -75,7 +89,8 @@ struct SweepGrid {
 
   [[nodiscard]] std::size_t cell_count() const {
     return task_counts.size() * utilizations.size() * detector_costs.size() *
-           stop_poll_latencies.size();
+           stop_poll_latencies.size() * core_counts.size() *
+           quantizer_resolutions.size();
   }
 };
 
@@ -87,6 +102,8 @@ struct ScenarioSpec {
   RandomTaskSetSpec tasks;
   Duration detector_cost;
   Duration stop_poll_latency;
+  std::size_t cores = 1;
+  Duration quantum = Duration::ms(1);  ///< detector-quantizer resolution.
 };
 
 /// How the sweep's engines observe events (counter-only runs; a
@@ -109,6 +126,22 @@ enum class CostSpecMode : std::uint8_t {
   kFunction,
 };
 
+/// Which placement strategies the multicore stage runs. kBoth pairs
+/// the verdicts per scenario — the evidence the fault-aware placement
+/// is worth its admission cost is exactly a cell where it stays clean
+/// while first-fit misses on the same draw.
+enum class PartitionerMode : std::uint8_t {
+  kBoth,
+  kFirstFit,
+  kFaultAware,
+};
+
+/// "both", "first-fit" or "fault-aware" — the CLI/export spelling.
+[[nodiscard]] std::string_view to_string(PartitionerMode mode);
+/// Inverse of to_string; throws ContractViolation for unknown names.
+[[nodiscard]] PartitionerMode partitioner_mode_from_string(
+    std::string_view name);
+
 /// Sweep-wide options.
 struct SweepOptions {
   std::uint64_t scenario_count = 1000;
@@ -124,6 +157,14 @@ struct SweepOptions {
   std::int64_t horizon_periods = 8;
   /// Policy armed in the detector-loaded run.
   core::TreatmentPolicy detector_policy = core::TreatmentPolicy::kDetectOnly;
+  /// Placement strategies run in multicore cells (cores > 1).
+  PartitionerMode partitioner = PartitionerMode::kBoth;
+  /// When the multicore stage kills a core: the fault instant as a
+  /// fraction of the scenario horizon, in [0, 1]. The victim is the
+  /// core with the highest primary utilization (ties to the lowest
+  /// index). 0 disables the fault (placement verdicts only); 1 dates
+  /// it at the horizon, which also never fires.
+  double core_fault_fraction = 0.5;
   /// Keep the per-scenario verdicts in the report (aggregates are always
   /// computed). Off saves memory on very large sweeps.
   bool keep_verdicts = true;
@@ -192,6 +233,20 @@ struct ScenarioVerdict {
   /// Detector-loaded run with per-fire cost: zero misses?
   bool detector_clean = false;
   std::int64_t detector_faults = 0;  ///< faults reported by the detectors.
+
+  // Multicore stage (cells with cores > 1; inert at the defaults so
+  // both pinned fingerprints survive). ff_* = first-fit placement,
+  // fa_* = fault-aware placement, each run on the same draw.
+  std::size_t cores = 1;
+  Duration quantum = Duration::ms(1);  ///< detector-quantizer resolution.
+  bool ff_placement_feasible = false;  ///< first-fit found every slot.
+  bool fa_placement_feasible = false;  ///< fault-aware admitted backups.
+  bool ff_failover_clean = false;      ///< no task missed across the fault.
+  bool fa_failover_clean = false;
+  std::int64_t ff_missed_tasks = 0;  ///< tasks not kSurvived.
+  std::int64_t fa_missed_tasks = 0;
+  std::int64_t ff_lost_jobs = 0;  ///< in-flight jobs lost with the core.
+  std::int64_t fa_lost_jobs = 0;
 };
 
 /// Counting aggregate over a set of verdicts.
@@ -204,6 +259,13 @@ struct SweepAggregate {
   std::uint64_t allowance_honored = 0;
   std::uint64_t detector_clean = 0;
   Duration allowance_sum;  ///< over allowance_feasible scenarios.
+  // Multicore counters (over verdicts with cores > 1; all zero on a
+  // historical single-core sweep).
+  std::uint64_t multicore = 0;  ///< verdicts that ran the multicore stage.
+  std::uint64_t ff_placed = 0;
+  std::uint64_t fa_placed = 0;
+  std::uint64_t ff_failover_clean = 0;
+  std::uint64_t fa_failover_clean = 0;
 
   void add(const ScenarioVerdict& v);
   /// Adds another aggregate's counts — how shard totals combine. Sums
@@ -220,6 +282,8 @@ struct CellSummary {
   double utilization = 0.0;
   Duration detector_cost;
   Duration stop_poll_latency;
+  std::size_t cores = 1;
+  Duration quantum = Duration::ms(1);
   SweepAggregate agg;
 };
 
@@ -367,6 +431,54 @@ struct ShardResult {
 /// million-scenario sweep never holds its verdicts twice.
 [[nodiscard]] SweepReport merge(std::vector<ShardResult>&& shards);
 
+/// Incremental merge: folds shards into the report one at a time, as
+/// they load, instead of holding every ShardResult in memory at once —
+/// what `sweep_runner --merge` and the coordinator use, so peak memory
+/// is the report plus the shards buffered out of order, not the whole
+/// sweep twice. Produces the exact report (totals, cells, verdicts and
+/// fingerprint bit for bit) the batch merge() overloads produce for the
+/// same shards in any arrival order: the FNV-1a fold is sequential in
+/// index order, so a shard arriving early is folded immediately and a
+/// shard arriving out of order is buffered until the gap before it
+/// closes.
+///
+///   ShardMerger merger;
+///   for (auto& file : files) merger.add(load_shard_json(read(file)));
+///   SweepReport report = merger.finish();
+///
+/// add() throws ShardError on identity mismatches and overlapping
+/// ranges as they are detected; finish() throws if the accepted shards
+/// do not tile [0, scenario_count) exactly. The merger is single-use:
+/// after finish() (or a throw from it) construct a fresh one.
+class ShardMerger {
+ public:
+  /// Folds one shard in. The first shard fixes the sweep identity;
+  /// later shards must match it (ShardError otherwise, the shard is
+  /// not consumed logically — the merger stays usable).
+  void add(ShardResult&& shard);
+
+  /// Scenarios folded so far (buffered out-of-order shards included).
+  [[nodiscard]] std::uint64_t accepted_scenarios() const {
+    return accepted_scenarios_;
+  }
+  /// Shards buffered waiting for a gap to close.
+  [[nodiscard]] std::size_t pending_shards() const { return pending_.size(); }
+
+  /// Validates full coverage and returns the merged report.
+  [[nodiscard]] SweepReport finish();
+
+ private:
+  void fold(ShardResult&& shard);
+  void drain_pending();
+
+  bool have_base_ = false;
+  SweepReport report_;           ///< accumulated in index order.
+  Fingerprint fp_;
+  std::uint64_t expected_begin_ = 0;
+  std::uint64_t accepted_scenarios_ = 0;
+  std::vector<ShardResult> pending_;  ///< out-of-order arrivals.
+};
+
 /// Per-worker reusable execution context: one engine and one sink,
 /// re-armed between scenarios, so a sweep pays no per-scenario engine or
 /// trace-buffer allocation (the seed design heap-allocated a fresh
@@ -388,6 +500,13 @@ class ScenarioRunner {
            std::optional<sched::TaskId> faulty = {},
            Duration extra = Duration::zero());
   [[nodiscard]] std::int64_t total_misses() const;
+  /// The multicore stage (cells with cores > 1): places the set with
+  /// each requested partitioner, kills the busiest core at the
+  /// configured horizon fraction, and fills the ff_*/fa_* verdict
+  /// fields. Verdicts come from engine statistics, so the stage is
+  /// independent of sink dispatch and cost-spec representation.
+  void run_multicore(const ScenarioSpec& spec, const sched::TaskSet& ts,
+                     Duration horizon, ScenarioVerdict& v);
 
   const SweepOptions& opts_;
   rt::Engine engine_;
@@ -395,6 +514,9 @@ class ScenarioRunner {
   trace::Recorder full_;  ///< used only when opts.full_traces.
   std::vector<rt::TaskHandle> handles_;
   Duration stop_poll_latency_;  ///< current scenario's §4.1 poll delay.
+  multicore::MultiEngine fleet_;  ///< pooled; armed in multicore cells only.
+  multicore::FirstFitDecreasing first_fit_;
+  multicore::FaultAware fault_aware_;
 };
 
 /// Runs one scenario to its verdict (pure; callable from any thread).

@@ -181,6 +181,93 @@ TEST(ApplySweepFlag, ParsesSinkModeAndCostSpecStrictly) {
   EXPECT_EQ(opts.cost_spec, CostSpecMode::kFlat);
 }
 
+TEST(ApplySweepFlag, ParsesTheMulticoreAxesStrictly) {
+  SweepOptions opts;
+  EXPECT_TRUE(apply_sweep_flag(
+      "--cores", [] { return std::string("1,2,4"); }, opts));
+  EXPECT_EQ(opts.grid.core_counts, (std::vector<std::size_t>{1, 2, 4}));
+  EXPECT_TRUE(apply_sweep_flag(
+      "--quantum-us", [] { return std::string("1000,250"); }, opts));
+  EXPECT_EQ(opts.grid.quantizer_resolutions,
+            (std::vector<Duration>{Duration::ms(1), Duration::us(250)}));
+  EXPECT_TRUE(apply_sweep_flag(
+      "--partitioner", [] { return std::string("fault-aware"); }, opts));
+  EXPECT_EQ(opts.partitioner, PartitionerMode::kFaultAware);
+  EXPECT_TRUE(apply_sweep_flag(
+      "--partitioner", [] { return std::string("first-fit"); }, opts));
+  EXPECT_EQ(opts.partitioner, PartitionerMode::kFirstFit);
+  EXPECT_TRUE(apply_sweep_flag(
+      "--partitioner", [] { return std::string("both"); }, opts));
+  EXPECT_EQ(opts.partitioner, PartitionerMode::kBoth);
+  EXPECT_TRUE(apply_sweep_flag(
+      "--core-fault", [] { return std::string("0"); }, opts));
+  EXPECT_EQ(opts.core_fault_fraction, 0.0);
+  EXPECT_TRUE(apply_sweep_flag(
+      "--core-fault", [] { return std::string("0.75"); }, opts));
+  EXPECT_EQ(opts.core_fault_fraction, 0.75);
+
+  EXPECT_THROW(apply_sweep_flag(
+                   "--cores", [] { return std::string("0"); }, opts),
+               ArgError);
+  EXPECT_THROW(apply_sweep_flag(
+                   "--cores", [] { return std::string("65"); }, opts),
+               ArgError);
+  EXPECT_THROW(apply_sweep_flag(
+                   "--quantum-us", [] { return std::string("0"); }, opts),
+               ArgError);
+  {
+    const std::string msg = arg_error_of([&] {
+      apply_sweep_flag(
+          "--partitioner", [] { return std::string("nonsense"); }, opts);
+    });
+    EXPECT_NE(msg.find("--partitioner"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'both', 'first-fit' or 'fault-aware'"),
+              std::string::npos)
+        << msg;
+  }
+  for (const char* bad : {"", "x", "-0.1", "1.5", "nan", "inf"}) {
+    const std::string msg = arg_error_of([&] {
+      apply_sweep_flag(
+          "--core-fault", [&] { return std::string(bad); }, opts);
+    });
+    EXPECT_NE(msg.find("--core-fault"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[0, 1]"), std::string::npos) << msg;
+  }
+  // Bad values must not have clobbered the last good settings.
+  EXPECT_EQ(opts.partitioner, PartitionerMode::kBoth);
+  EXPECT_EQ(opts.core_fault_fraction, 0.75);
+}
+
+TEST(WorkerArgv, RoundTripsTheMulticoreAxesBitForBit) {
+  SweepOptions opts;
+  opts.scenario_count = 60;
+  opts.grid.task_counts = {8};
+  opts.grid.utilizations = {2.0, 2.4};
+  opts.grid.core_counts = {2, 4};
+  opts.grid.quantizer_resolutions = {Duration::ms(1), Duration::us(250)};
+  opts.partitioner = PartitionerMode::kFaultAware;
+  opts.core_fault_fraction = 0.25;
+
+  const SweepPlan plan(opts);
+  const std::vector<std::string> argv = worker_argv(
+      "/bin/sweep_runner", plan.options(), plan.shard(0, 2), "/tmp/s0.json");
+  SweepOptions reparsed;
+  (void)reparse(argv, reparsed);
+  EXPECT_TRUE(detail::same_scenario_identity(plan.options(), reparsed));
+  EXPECT_EQ(reparsed.grid.core_counts, opts.grid.core_counts);
+  EXPECT_EQ(reparsed.grid.quantizer_resolutions,
+            opts.grid.quantizer_resolutions);
+  EXPECT_EQ(reparsed.partitioner, opts.partitioner);
+  EXPECT_EQ(reparsed.core_fault_fraction, opts.core_fault_fraction);
+
+  // Sub-microsecond quantizer resolutions are inexpressible in the
+  // runner CLI and must be refused, not silently rounded.
+  SweepOptions sub_us = opts;
+  sub_us.grid.quantizer_resolutions = {Duration::ns(500)};
+  EXPECT_THROW((void)worker_argv("r", sub_us, plan.shard(0, 2), "p"),
+               ContractViolation);
+}
+
 TEST(WorkerArgv, RoundTripsTheScenarioIdentityBitForBit) {
   SweepOptions opts;
   opts.scenario_count = 240;

@@ -35,6 +35,11 @@ void expect_same_aggregate(const SweepAggregate& a, const SweepAggregate& b) {
   EXPECT_EQ(a.allowance_honored, b.allowance_honored);
   EXPECT_EQ(a.detector_clean, b.detector_clean);
   EXPECT_EQ(a.allowance_sum, b.allowance_sum);
+  EXPECT_EQ(a.multicore, b.multicore);
+  EXPECT_EQ(a.ff_placed, b.ff_placed);
+  EXPECT_EQ(a.fa_placed, b.fa_placed);
+  EXPECT_EQ(a.ff_failover_clean, b.ff_failover_clean);
+  EXPECT_EQ(a.fa_failover_clean, b.fa_failover_clean);
 }
 
 void expect_same_verdict(const ScenarioVerdict& a, const ScenarioVerdict& b) {
@@ -55,6 +60,16 @@ void expect_same_verdict(const ScenarioVerdict& a, const ScenarioVerdict& b) {
   EXPECT_EQ(a.allowance_honored, b.allowance_honored);
   EXPECT_EQ(a.detector_clean, b.detector_clean);
   EXPECT_EQ(a.detector_faults, b.detector_faults);
+  EXPECT_EQ(a.cores, b.cores);
+  EXPECT_EQ(a.quantum, b.quantum);
+  EXPECT_EQ(a.ff_placement_feasible, b.ff_placement_feasible);
+  EXPECT_EQ(a.fa_placement_feasible, b.fa_placement_feasible);
+  EXPECT_EQ(a.ff_failover_clean, b.ff_failover_clean);
+  EXPECT_EQ(a.fa_failover_clean, b.fa_failover_clean);
+  EXPECT_EQ(a.ff_missed_tasks, b.ff_missed_tasks);
+  EXPECT_EQ(a.fa_missed_tasks, b.fa_missed_tasks);
+  EXPECT_EQ(a.ff_lost_jobs, b.ff_lost_jobs);
+  EXPECT_EQ(a.fa_lost_jobs, b.fa_lost_jobs);
 }
 
 void expect_same_report(const SweepReport& a, const SweepReport& b) {
@@ -67,6 +82,8 @@ void expect_same_report(const SweepReport& a, const SweepReport& b) {
     EXPECT_EQ(a.cells[c].utilization, b.cells[c].utilization);
     EXPECT_EQ(a.cells[c].detector_cost, b.cells[c].detector_cost);
     EXPECT_EQ(a.cells[c].stop_poll_latency, b.cells[c].stop_poll_latency);
+    EXPECT_EQ(a.cells[c].cores, b.cells[c].cores);
+    EXPECT_EQ(a.cells[c].quantum, b.cells[c].quantum);
   }
   ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
   for (std::size_t i = 0; i < a.verdicts.size(); ++i) {
@@ -289,6 +306,107 @@ TEST(ShardMerge, RejectsGapsOverlapsDuplicatesAndForeignShards) {
 }
 
 // ---------------------------------------------------------------------------
+// Incremental merging: ShardMerger folds shards as they arrive and must
+// reproduce the batch merge() bit-for-bit, whatever the arrival order.
+// ---------------------------------------------------------------------------
+
+SweepOptions multicore_options() {
+  SweepOptions opts = small_options();
+  opts.grid.core_counts = {1, 2};
+  opts.grid.quantizer_resolutions = {Duration::ms(1), Duration::us(500)};
+  return opts;
+}
+
+TEST(ShardMergerTest, SixShardMixFoldsToTheBatchMergeBitForBit) {
+  // Six shards with mixed worker counts over a grid exercising the
+  // multicore and quantizer axes, folded incrementally in order and in
+  // reverse (so every shard but the first waits in the pending buffer):
+  // same fingerprint, aggregates and verdicts as the batch merge.
+  const SweepOptions opts = multicore_options();
+  const SweepReport single = run_sweep(opts);
+  const SweepPlan plan(opts);
+  std::vector<ShardResult> shards;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    SweepOptions per_shard = opts;
+    per_shard.workers = 1 + i % 3;
+    shards.push_back(run_shard(plan.shard(i, 6), per_shard));
+  }
+  expect_same_report(merge(shards), single);
+
+  ShardMerger in_order;
+  for (const ShardResult& s : shards) {
+    in_order.add(ShardResult(s));
+    EXPECT_EQ(in_order.pending_shards(), 0u);
+  }
+  EXPECT_EQ(in_order.accepted_scenarios(), opts.scenario_count);
+  expect_same_report(in_order.finish(), single);
+
+  ShardMerger reversed;
+  for (std::size_t i = shards.size(); i-- > 1;) {
+    reversed.add(ShardResult(shards[i]));
+  }
+  EXPECT_EQ(reversed.pending_shards(), shards.size() - 1);
+  reversed.add(ShardResult(shards[0]));  // closes the gap, drains all.
+  EXPECT_EQ(reversed.pending_shards(), 0u);
+  expect_same_report(reversed.finish(), single);
+}
+
+TEST(ShardMergerTest, EmptyShardsFoldInAnyOrder) {
+  // A partition wider than the scenario count yields empty [b, b)
+  // shards; they must fold as no-ops without wedging the frontier,
+  // whether they arrive before or after their non-empty peers.
+  SweepOptions opts = small_options();
+  opts.scenario_count = 4;
+  const SweepReport single = run_sweep(opts);
+  const SweepPlan plan(opts);
+  const std::vector<ShardResult> shards = run_split(plan, 6);
+  for (int order = 0; order < 2; ++order) {
+    ShardMerger merger;
+    if (order == 0) {
+      for (const ShardResult& s : shards) merger.add(ShardResult(s));
+    } else {  // all empties first, then the non-empty shards reversed.
+      for (const ShardResult& s : shards) {
+        if (s.shard.count() == 0) merger.add(ShardResult(s));
+      }
+      for (std::size_t i = shards.size(); i-- > 0;) {
+        if (shards[i].shard.count() != 0) {
+          merger.add(ShardResult(shards[i]));
+        }
+      }
+    }
+    expect_same_report(merger.finish(), single);
+  }
+}
+
+TEST(ShardMergerTest, RejectsForeignShardsAndIncompleteCoverage) {
+  const SweepOptions opts = small_options();
+  const SweepPlan plan(opts);
+  const std::vector<ShardResult> shards = run_split(plan, 3);
+
+  ShardMerger empty;
+  EXPECT_THROW((void)empty.finish(), ShardError);
+
+  ShardMerger gappy;  // missing the middle shard: coverage fails late.
+  gappy.add(ShardResult(shards[0]));
+  gappy.add(ShardResult(shards[2]));
+  EXPECT_THROW((void)gappy.finish(), ShardError);
+
+  // A shard of a different sweep is rejected on add() and must not
+  // poison the merger: the matching shards still merge afterwards.
+  SweepOptions foreign_opts = opts;
+  foreign_opts.base_seed = opts.base_seed + 1;
+  const SweepPlan foreign_plan(foreign_opts);
+  ShardMerger merger;
+  merger.add(ShardResult(shards[0]));
+  EXPECT_THROW(
+      merger.add(run_shard(foreign_plan.shard(1, 3), foreign_opts)),
+      ShardError);
+  merger.add(ShardResult(shards[1]));
+  merger.add(ShardResult(shards[2]));
+  expect_same_report(merger.finish(), run_sweep(opts));
+}
+
+// ---------------------------------------------------------------------------
 // Serialization: shards cross process/host boundaries as versioned JSON.
 // ---------------------------------------------------------------------------
 
@@ -345,9 +463,13 @@ TEST(ShardJson, RejectsMalformedDocuments) {
   EXPECT_THROW((void)load_shard_json(wrong_format), ShardError);
 
   std::string wrong_version = good;
-  const std::size_t vpos = wrong_version.find("\"version\": 1");
+  const std::string version_field =
+      "\"version\": " + std::to_string(kShardFormatVersion);
+  const std::size_t vpos = wrong_version.find(version_field);
   ASSERT_NE(vpos, std::string::npos);
-  wrong_version.replace(vpos, 12, "\"version\": 2");
+  wrong_version.replace(
+      vpos, version_field.size(),
+      "\"version\": " + std::to_string(kShardFormatVersion + 1));
   EXPECT_THROW((void)load_shard_json(wrong_version), ShardError);
 }
 

@@ -194,6 +194,92 @@ TEST(SweepGrid, StopLatencyAxisRoundRobinsFastest) {
   }
 }
 
+TEST(SweepGrid, DefaultMulticoreAxesKeepHistoricalMapping) {
+  // Single-value default core/quantum axes (and the default partitioner
+  // and fault fraction) must not perturb the cell mapping or the
+  // fingerprint: pre-multicore sweeps stay bit-for-bit reproducible.
+  SweepOptions opts = small_options();
+  opts.scenario_count = 40;
+  const SweepReport implicit = run_sweep(opts);
+  ASSERT_EQ(opts.grid.core_counts, std::vector<std::size_t>{1});
+  ASSERT_EQ(opts.grid.quantizer_resolutions,
+            std::vector<Duration>{Duration::ms(1)});
+  opts.grid.core_counts = {1};                        // explicit defaults
+  opts.grid.quantizer_resolutions = {Duration::ms(1)};
+  opts.partitioner = PartitionerMode::kBoth;
+  opts.core_fault_fraction = 0.5;
+  const SweepReport explicit_defaults = run_sweep(opts);
+  EXPECT_EQ(implicit.fingerprint, explicit_defaults.fingerprint);
+  for (std::uint64_t i = 0; i < opts.scenario_count; ++i) {
+    const ScenarioSpec spec = scenario_spec(opts, i);
+    EXPECT_EQ(spec.cores, 1u);
+    EXPECT_EQ(spec.quantum, Duration::ms(1));
+  }
+}
+
+TEST(SweepGrid, QuantumAxisRoundRobinsFastestThenCores) {
+  SweepOptions opts = small_options();
+  opts.grid.quantizer_resolutions = {Duration::ms(1), Duration::us(500)};
+  opts.grid.core_counts = {1, 2};
+  ASSERT_EQ(opts.grid.cell_count(), 32u);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const ScenarioSpec spec = scenario_spec(opts, i);
+    EXPECT_EQ(spec.quantum,
+              opts.grid.quantizer_resolutions[static_cast<std::size_t>(i % 2)]);
+    EXPECT_EQ(spec.cores,
+              opts.grid.core_counts[static_cast<std::size_t>((i / 2) % 2)]);
+    // The slower axes decompose as before, just scaled by the new ones.
+    EXPECT_EQ(spec.detector_cost,
+              opts.grid.detector_costs[static_cast<std::size_t>((i / 4) % 2)]);
+  }
+}
+
+TEST(Sweep, QuantizerResolutionChangesTheFingerprint) {
+  // A non-default resolution arms nearest-rounding on the release
+  // quantizer: the verdicts must move, so the axis can never silently
+  // go inert.
+  SweepOptions opts = small_options();
+  opts.scenario_count = 40;
+  const SweepReport exact = run_sweep(opts);
+  opts.grid.quantizer_resolutions = {Duration::us(250)};
+  const SweepReport coarse = run_sweep(opts);
+  EXPECT_NE(exact.fingerprint, coarse.fingerprint);
+}
+
+TEST(Sweep, FaultAwarePlacementsSurviveTheSweptCoreFault) {
+  // The multicore stage's paired evidence, asserted at sweep level:
+  // fault-aware admission is sound (a placement it accepts never misses
+  // across the injected fault), and it buys something first-fit does
+  // not (some scenario where first-fit's fail-over misses while
+  // fault-aware's is clean).
+  SweepOptions opts;
+  opts.scenario_count = 60;
+  opts.workers = 4;
+  opts.base_seed = 42;
+  opts.grid.task_counts = {8};
+  opts.grid.utilizations = {2.0, 2.4};
+  opts.grid.detector_costs = {Duration::zero()};
+  opts.grid.core_counts = {4};
+  const SweepReport report = run_sweep(opts);
+  ASSERT_EQ(report.verdicts.size(), opts.scenario_count);
+  bool contrast_seen = false;
+  std::uint64_t multicore_rows = 0;
+  for (const ScenarioVerdict& v : report.verdicts) {
+    ASSERT_EQ(v.cores, 4u);
+    ++multicore_rows;
+    if (v.fa_placement_feasible) {
+      EXPECT_TRUE(v.fa_failover_clean) << "scenario " << v.index;
+      EXPECT_EQ(v.fa_missed_tasks, 0) << "scenario " << v.index;
+    }
+    contrast_seen = contrast_seen ||
+                    (v.ff_placement_feasible && v.fa_placement_feasible &&
+                     !v.ff_failover_clean && v.fa_failover_clean);
+  }
+  EXPECT_EQ(report.totals.multicore, multicore_rows);
+  EXPECT_EQ(report.totals.fa_placed, report.totals.fa_failover_clean);
+  EXPECT_TRUE(contrast_seen);
+}
+
 TEST(Sweep, StopLatencyChangesOutcomesUnderAStoppingPolicy) {
   // Under instant-stop the detector run injects a top-priority hog whose
   // stop lands only after the poll latency: a long poll must be visible
